@@ -1,0 +1,30 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the evaluation
+(section V).  Absolute numbers come from a calibrated simulation; the
+assertions check the *shapes* the paper reports -- who wins, by what
+factor, where the knees fall.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Paper-style tables are also appended here, so they survive pytest's
+#: stdout capture when the suite is run without ``-s``.
+RESULTS_FILE = os.path.join(os.path.dirname(__file__), "latest_results.txt")
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render one paper-style results table to stdout and the log file."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    out = ["", f"=== {title} ===", line, "-" * len(line)]
+    for row in rows:
+        out.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    out.append("")
+    text = "\n".join(out)
+    print(text)
+    with open(RESULTS_FILE, "a") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,69 @@
+"""Ablation (Lesson 3): asynchronous switch reconfiguration.
+
+"Note that the reconfiguration of the switch could also be done
+asynchronously: P4CE could manually replicate packets while the switch
+is reconfiguring, and then use in-network replication once the switch is
+reconfigured.  In that case, Mu and P4CE would have identical fail-over
+times." (section V-E)
+
+The paper proposes but does not build this; `ClusterConfig.async_reconfig`
+implements it.  This bench measures leader fail-over in all three modes.
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+
+from conftest import print_table
+
+MS = 1_000_000
+
+
+def failover_ms(protocol: str, async_reconfig: bool = False) -> dict:
+    cluster = Cluster.build(ClusterConfig(num_replicas=4, protocol=protocol,
+                                          seed=11,
+                                          async_reconfig=async_reconfig))
+    cluster.await_ready()
+    done = []
+    for i in range(10):
+        cluster.propose(b"pre" + bytes([i]), done.append)
+    cluster.run_for(2 * MS)
+    start = cluster.sim.now
+    cluster.kill_app(0)
+    cluster.sim.run_until(
+        lambda: cluster.leader is not None and cluster.leader.node_id == 1,
+        timeout=300 * MS)
+    elapsed = (cluster.sim.now - start) / 1e6
+    mode_at_takeover = cluster.leader.comm_mode
+    cluster.run_for(60 * MS)
+    return {"time_ms": elapsed, "mode_at_takeover": mode_at_takeover,
+            "mode_later": cluster.leader.comm_mode}
+
+
+@pytest.mark.benchmark(group="ablation-async-reconfig")
+def test_async_reconfiguration(benchmark):
+    def run():
+        return {
+            "mu": failover_ms("mu"),
+            "p4ce (sync, as measured)": failover_ms("p4ce", False),
+            "p4ce (async, Lesson 3)": failover_ms("p4ce", True),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(name, f"{r['time_ms']:.2f}", r["mode_at_takeover"],
+             r["mode_later"])
+            for name, r in results.items()]
+    print_table("Lesson 3 ablation: leader fail-over (ms), 4 replicas",
+                ("system", "fail-over", "mode at takeover", "60 ms later"),
+                rows)
+
+    mu = results["mu"]["time_ms"]
+    sync = results["p4ce (sync, as measured)"]["time_ms"]
+    async_ = results["p4ce (async, Lesson 3)"]["time_ms"]
+    # As measured: P4CE pays the 40 ms reconfiguration.
+    assert 37 <= sync - mu <= 45
+    # Lesson 3: "Mu and P4CE would have identical fail-over times".
+    assert abs(async_ - mu) < 1.0, (async_, mu)
+    # ... and acceleration is regained afterwards.
+    assert results["p4ce (async, Lesson 3)"]["mode_at_takeover"] == "direct"
+    assert results["p4ce (async, Lesson 3)"]["mode_later"] == "switch"

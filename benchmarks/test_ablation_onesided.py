@@ -1,0 +1,161 @@
+"""Ablation: one-sided RDMA writes vs two-sided send/receive.
+
+The premise underneath Mu and P4CE (§I): "the RDMA write operation ...
+allows the leader's data to be written and acknowledged without
+involving the replicas' CPUs".  A two-sided design (cf. NetLR in the
+related work, which the paper reports as roughly 100x slower) makes the
+replica's CPU part of every replication: post receives, poll the recv
+completion, touch the data, and that CPU may be busy doing application
+work.
+
+This microbenchmark measures raw replication rate and latency over one
+QP, with the responder's CPU idle and with it 90% loaded.  One-sided
+throughput is NIC-bound and indifferent to the responder's CPU;
+two-sided throughput collapses with it.
+"""
+
+import pytest
+
+from repro import params
+from repro.net import AddressAllocator, connect
+from repro.rdma import Access, Host, ListenerReply, WorkRequest, WrOpcode
+from repro.sim import Simulator
+
+from conftest import print_table
+
+MS = 1_000_000
+OPS = 3000
+SIZE = 64
+
+
+def build_pair():
+    sim = Simulator()
+    alloc = AddressAllocator()
+    m1, i1 = alloc.next_host()
+    m2, i2 = alloc.next_host()
+    client = Host(sim, "leader", 1, m1, i1)
+    server = Host(sim, "replica", 2, m2, i2)
+    connect(sim, client.nic.port, server.nic.port)
+    client.nic.gateway_mac = m2
+    server.nic.gateway_mac = m1
+    region = server.reg_mr(1 << 20, Access.REMOTE_WRITE, "log")
+    server_cq = server.create_cq()
+    server_qp = server.create_qp(server_cq)
+    server.cm.listen(1, lambda info: ListenerReply(qp=server_qp))
+    cq = client.create_cq()
+    qp = client.create_qp(cq)
+    done = {}
+    client.cm.connect(i2, 1, qp, b"", lambda q, pd, err: done.update(err=err))
+    sim.run(until=2 * MS)
+    assert done.get("err") is None
+    return sim, client, server, qp, cq, server_qp, server_cq, region
+
+
+def load_responder_cpu(sim, host, busy_fraction=0.9, slice_ns=10_000):
+    """Keep the responder's core ~90% busy with application work."""
+    def burn():
+        host.cpu.execute(busy_fraction * slice_ns, lambda: None)
+        sim.schedule(slice_ns, burn)
+    burn()
+
+
+def run_one_sided(load_cpu: bool) -> dict:
+    sim, client, server, qp, cq, _sqp, _scq, region = build_pair()
+    if load_cpu:
+        load_responder_cpu(sim, server)
+    committed = []
+    state = {"posted": 0}
+
+    def refill(*_):
+        # Application-level window: posted-but-uncommitted <= 16.
+        while state["posted"] < OPS and state["posted"] - len(committed) < 16:
+            client.post_write(qp, b"d" * SIZE,
+                              region.addr + (state["posted"] * SIZE) % 65536,
+                              region.r_key)
+            state["posted"] += 1
+
+    cq.on_completion = lambda wc: (committed.append(sim.now), refill())
+    start = sim.now
+    refill()
+    sim.run_until(lambda: len(committed) >= OPS, timeout=5_000 * MS)
+    elapsed = sim.now - start
+    return {"ops_per_sec": OPS / elapsed * 1e9}
+
+
+def run_two_sided(load_cpu: bool) -> dict:
+    """Application-level request/reply: the replica's CPU polls each
+    inbound message, does its bookkeeping and SENDs a reply; replication
+    of one value completes when the reply lands back at the leader."""
+    sim, client, server, qp, cq, server_qp, server_cq, region = build_pair()
+    if load_cpu:
+        load_responder_cpu(sim, server)
+    server_buf = server.reg_mr(1 << 20, Access.LOCAL_WRITE, "rq-buf")
+    client_buf = client.reg_mr(1 << 20, Access.LOCAL_WRITE, "reply-buf")
+
+    # The replica's CPU processes each message and answers.
+    def on_server_wc_raw(wc):
+        server.handle_completion(wc, on_server_wc)
+
+    def on_server_wc(wc):
+        if wc.opcode_name != "RECV":
+            return  # its own reply-send completion
+        server.post_recv(server_qp, server_buf.addr, 4096)
+        server.post_send(server_qp, WorkRequest(server.fresh_wr_id(),
+                                                WrOpcode.SEND, data=b"ok"))
+
+    server_cq.on_completion = on_server_wc_raw
+    for _ in range(64):
+        server.post_recv(server_qp, server_buf.addr, 4096)
+
+    committed = []
+    state = {"posted": 0}
+
+    def refill():
+        # Application-level window: posted-but-unanswered <= 16.
+        while state["posted"] < OPS and state["posted"] - len(committed) < 16:
+            client.post_recv(qp, client_buf.addr, 4096)
+            client.post_send(qp, WorkRequest(client.fresh_wr_id(),
+                                             WrOpcode.SEND, data=b"d" * SIZE))
+            state["posted"] += 1
+
+    def on_client_wc(wc):
+        if wc.opcode_name == "RECV":  # the replica's reply
+            committed.append(sim.now)
+            refill()
+
+    cq.on_completion = on_client_wc
+    start = sim.now
+    refill()
+    sim.run_until(lambda: len(committed) >= OPS, timeout=20_000 * MS)
+    elapsed = sim.now - start
+    return {"ops_per_sec": len(committed) / elapsed * 1e9}
+
+
+@pytest.mark.benchmark(group="ablation-onesided")
+def test_one_sided_vs_two_sided(benchmark):
+    def run():
+        return {
+            ("one-sided", "idle"): run_one_sided(False),
+            ("one-sided", "busy"): run_one_sided(True),
+            ("two-sided", "idle"): run_two_sided(False),
+            ("two-sided", "busy"): run_two_sided(True),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(mode, cpu, f"{r['ops_per_sec'] / 1e6:.2f} M/s")
+            for (mode, cpu), r in results.items()]
+    print_table("One-sided vs two-sided replication (64 B, single QP; "
+                "responder CPU idle vs 90% loaded)",
+                ("transport", "responder CPU", "messages/s"), rows)
+
+    one_idle = results[("one-sided", "idle")]["ops_per_sec"]
+    one_busy = results[("one-sided", "busy")]["ops_per_sec"]
+    two_idle = results[("two-sided", "idle")]["ops_per_sec"]
+    two_busy = results[("two-sided", "busy")]["ops_per_sec"]
+    # One-sided writes do not involve the responder CPU at all.
+    assert abs(one_busy - one_idle) / one_idle < 0.02
+    # Two-sided is slower even on an idle responder (recv processing) ...
+    assert two_idle < one_idle
+    # ... and collapses when the responder's core is busy.
+    assert two_busy < 0.35 * one_busy
+    assert two_busy < two_idle / 2

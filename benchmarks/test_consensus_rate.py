@@ -1,0 +1,54 @@
+"""Section V-C (text): maximum number of consensus per second on 64 B.
+
+Paper claims:
+
+* "P4CE can sustain 2.3 million consensus per second";
+* "a 1.9x speed increase over Mu with 2 replicas and around 3.8x with
+  4 replicas" (Mu: ~1.2 M/s and ~600 k/s);
+* P4CE's rate is independent of the number of replicas.
+
+No batching here: one RDMA write per consensus -- the leader CPU is the
+bottleneck ("the consensus is limited by the rate at which the leader can
+generate RDMA packets").
+"""
+
+import pytest
+
+from repro.workloads import measure_goodput
+
+from conftest import print_table
+
+MS = 1_000_000
+
+
+def run_all():
+    results = {}
+    for protocol in ("p4ce", "mu"):
+        for replicas in (2, 4):
+            point = measure_goodput(protocol, replicas, 64,
+                                    warmup_ns=1 * MS, window_ns=4 * MS)
+            results[(protocol, replicas)] = point["ops_per_sec"]
+    return results
+
+
+@pytest.mark.benchmark(group="rate")
+def test_max_consensus_per_second(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for (protocol, replicas), rate in sorted(results.items()):
+        rows.append((protocol, replicas, f"{rate / 1e6:.2f} M/s"))
+    print_table("Section V-C: max consensus/s on 64 B values "
+                "[paper: P4CE 2.3 M/s; Mu 1.2 M/s (n=2), 0.6 M/s (n=4)]",
+                ("protocol", "replicas", "consensus/s"), rows)
+
+    p4ce2, p4ce4 = results[("p4ce", 2)], results[("p4ce", 4)]
+    mu2, mu4 = results[("mu", 2)], results[("mu", 4)]
+    # P4CE sustains ~2.3 M consensus/s ...
+    assert 2.0e6 <= p4ce2 <= 2.6e6
+    # ... regardless of the number of replicas.
+    assert abs(p4ce4 - p4ce2) / p4ce2 < 0.05
+    # Mu: ~1.9x slower with 2 replicas, ~3.8x with 4.
+    assert 1.6 <= p4ce2 / mu2 <= 2.3, f"speedup(n=2) = {p4ce2 / mu2:.2f}"
+    assert 3.2 <= p4ce4 / mu4 <= 4.5, f"speedup(n=4) = {p4ce4 / mu4:.2f}"
+    benchmark.extra_info["consensus_per_sec"] = {
+        f"{p}-{n}": results[(p, n)] for (p, n) in results}

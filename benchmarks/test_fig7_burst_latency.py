@@ -1,0 +1,57 @@
+"""Figure 7: latency of short bursts of 64 B consensus operations.
+
+Paper claims (section V-D):
+
+* "The latency difference between P4CE and Mu increases with the number
+  of consensus on the fly";
+* "Mu starts to become CPU-limited when handling more than 10 queries
+  simultaneously";
+* "P4CE's latency is half that of Mu when handling bursts of 100
+  requests".
+"""
+
+import pytest
+
+from repro.workloads import measure_burst_latency
+
+from conftest import print_table
+
+BURSTS = [1, 4, 10, 32, 100]
+
+
+def run_panel(replicas: int):
+    out = {"p4ce": {}, "mu": {}}
+    for burst in BURSTS:
+        for protocol in ("p4ce", "mu"):
+            out[protocol][burst] = measure_burst_latency(
+                protocol, replicas, burst, rounds=20)["mean_burst_latency_us"]
+    return out
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_burst_latency(benchmark):
+    panel = benchmark.pedantic(lambda: run_panel(2), rounds=1, iterations=1)
+    rows = []
+    for burst in BURSTS:
+        p4ce, mu = panel["p4ce"][burst], panel["mu"][burst]
+        rows.append((burst, f"{p4ce:.2f}", f"{mu:.2f}", f"{mu / p4ce:.2f}x"))
+    print_table("Fig. 7: burst completion latency (us), 64 B requests, "
+                "2 replicas  [paper: Mu/P4CE -> ~2x at burst 100]",
+                ("burst", "P4CE", "Mu", "Mu/P4CE"), rows)
+
+    # Comparable at burst 1 (single consensus: same round trip).
+    assert panel["mu"][1] / panel["p4ce"][1] < 1.5
+    # The gap grows with the number of consensus on the fly.
+    ratios = [panel["mu"][b] / panel["p4ce"][b] for b in BURSTS]
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] == max(ratios)
+    # ~2x at burst 100.
+    assert 1.5 <= ratios[-1] <= 2.6, f"ratio at 100 = {ratios[-1]:.2f}"
+    # Mu degrades past ~10 in flight: its per-op latency at 100 is much
+    # worse than at 10.
+    assert panel["mu"][100] / 100 > 0  # (guard)
+    mu_per_op_10 = panel["mu"][10] / 10
+    mu_per_op_100 = panel["mu"][100] / 100
+    p4ce_per_op_100 = panel["p4ce"][100] / 100
+    assert mu_per_op_100 > p4ce_per_op_100
+    benchmark.extra_info["burst_latency_us"] = panel

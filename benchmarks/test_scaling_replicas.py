@@ -1,0 +1,52 @@
+"""Replica scaling: "P4CE can handle up to 2.3 million consensus per
+second, regardless of the number of replicas" (section V-D).
+
+The paper evaluates 2 and 4 replicas; this bench extends the sweep to 6
+(the largest group the testbed's 5+switch could not show) and checks the
+scaling laws: P4CE flat, Mu ~1/n.
+"""
+
+import pytest
+
+from repro.workloads import measure_goodput
+
+from conftest import print_table
+
+MS = 1_000_000
+REPLICAS = [2, 3, 4, 6]
+
+
+def run_sweep():
+    out = {"p4ce": {}, "mu": {}}
+    for replicas in REPLICAS:
+        for protocol in ("p4ce", "mu"):
+            point = measure_goodput(protocol, replicas, 64,
+                                    warmup_ns=1 * MS, window_ns=3 * MS)
+            out[protocol][replicas] = point["ops_per_sec"]
+    return out
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_rate_vs_replica_count(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for replicas in REPLICAS:
+        p4ce = results["p4ce"][replicas]
+        mu = results["mu"][replicas]
+        rows.append((replicas, f"{p4ce / 1e6:.2f} M/s", f"{mu / 1e6:.2f} M/s",
+                     f"{p4ce / mu:.2f}x"))
+    print_table("Consensus rate vs replica count (64 B values)  "
+                "[paper: P4CE flat at 2.3 M/s; Mu ~1/n]",
+                ("replicas", "P4CE", "Mu", "speedup"), rows)
+
+    p4ce_rates = [results["p4ce"][n] for n in REPLICAS]
+    # P4CE is flat in n (within 5%).
+    assert max(p4ce_rates) / min(p4ce_rates) < 1.05
+    # Mu scales ~1/n: rate(n) ~ rate(2) * 2/n within 20%.
+    base = results["mu"][2]
+    for replicas in REPLICAS[1:]:
+        expected = base * 2 / replicas
+        assert abs(results["mu"][replicas] - expected) / expected < 0.2, \
+            (replicas, results["mu"][replicas], expected)
+    # The speedup approaches n.
+    assert results["p4ce"][6] / results["mu"][6] > 4.5

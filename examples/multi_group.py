@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Multiple consensus groups sharing one programmable switch.
+
+"On top of handling future RDMA commands for the established
+connections, the control plane still listens for new ConnectRequest
+packets to create new parallel connections, as P4CE supports multiple
+consensus groups in parallel." (section IV-A)
+
+Three independent leaders, each with two replicas, all cabled to the
+same Tofino.  Each leader creates its own communication group; the data
+plane keeps their NumRecv windows, credit registers and rewrites fully
+isolated.  The example writes distinct data through each group
+concurrently and verifies no group's bytes leaked into another's logs.
+
+Run:  python examples/multi_group.py
+"""
+
+from repro.net import AddressAllocator, connect
+from repro.p4ce import (
+    GROUP_SERVICE_ID,
+    GroupRequest,
+    LOG_SERVICE_ID,
+    MemberAdvert,
+    P4ceControlPlane,
+    P4ceProgram,
+)
+from repro.rdma import Access, Host, ListenerReply
+from repro.sim import Simulator
+from repro.switch import Switch
+
+MS = 1_000_000
+NUM_GROUPS = 3
+REPLICAS_PER_GROUP = 2
+
+
+def main() -> None:
+    sim = Simulator()
+    alloc = AddressAllocator()
+    smac, sip = alloc.switch_address()
+    switch = Switch(sim, "tofino", smac, sip)
+    program = P4ceProgram()
+    switch.load_program(program)
+    control_plane = P4ceControlPlane(sim, switch, program)
+
+    def add_host(name, node_id):
+        mac, ip = alloc.next_host()
+        host = Host(sim, name, node_id, mac, ip)
+        port = switch.free_port()
+        connect(sim, host.nic.port, port)
+        host.nic.gateway_mac = smac
+        switch.add_host_route(ip, port.index, mac)
+        return host
+
+    groups = []
+    node_id = 0
+    for g in range(NUM_GROUPS):
+        leader = add_host(f"leader{g}", node_id)
+        node_id += 1
+        replicas, logs = [], []
+        for r in range(REPLICAS_PER_GROUP):
+            replica = add_host(f"g{g}r{r}", node_id)
+            node_id += 1
+            log = replica.reg_mr(1 << 16, Access.REMOTE_WRITE, f"log-g{g}")
+            logs.append(log)
+
+            def handler(info, host=replica, mr=log):
+                qp = host.create_qp(host.create_cq())
+                return ListenerReply(qp=qp, private_data=MemberAdvert(
+                    mr.addr, mr.length, mr.r_key).pack())
+
+            replica.cm.listen(LOG_SERVICE_ID, handler)
+            replicas.append(replica)
+        groups.append({"leader": leader, "replicas": replicas, "logs": logs})
+
+    print(f"Creating {NUM_GROUPS} communication groups on one switch...")
+    for g, group in enumerate(groups):
+        cq = group["leader"].create_cq()
+        qp = group["leader"].create_qp(cq)
+        result = {}
+        request = GroupRequest(group["leader"].ip,
+                               [r.ip for r in group["replicas"]], epoch=1)
+        group["leader"].cm.connect(sip, GROUP_SERVICE_ID, qp, request.pack(),
+                                   lambda q, pd, err, res=result:
+                                   res.update(pd=pd, err=err),
+                                   timeout_ns=200 * MS)
+        group.update(qp=qp, cq=cq, result=result)
+    sim.run_until(lambda: all("pd" in g["result"] for g in groups),
+                  timeout=300 * MS)
+    for g, group in enumerate(groups):
+        assert group["result"].get("err") is None
+        group["advert"] = MemberAdvert.unpack(group["result"]["pd"])
+        print(f"  group {g}: active (virtual rkey "
+              f"{group['advert'].r_key:#010x})")
+    print(f"  data-plane tables: {len(program.bcast_table)} BCast entries, "
+          f"{len(program.aggr_table)} Aggr entries, "
+          f"{len(program.egress_conn_table)} connection structures")
+
+    print("\nWriting concurrently through all groups...")
+    done = {g: 0 for g in range(NUM_GROUPS)}
+    for i in range(50):
+        for g, group in enumerate(groups):
+            group["cq"].on_completion = (
+                lambda wc, g=g: done.__setitem__(g, done[g] + 1))
+            payload = f"group-{g}-value-{i}".encode().ljust(64, b"\x00")
+            group["leader"].post_write(group["qp"], payload, 64 * i,
+                                       group["advert"].r_key)
+    sim.run_until(lambda: all(done[g] >= 50 for g in done), timeout=100 * MS)
+
+    print("Verifying isolation between the groups' logs...")
+    for g, group in enumerate(groups):
+        for log in group["logs"]:
+            for i in range(50):
+                data = log.read(log.addr + 64 * i, 64).rstrip(b"\x00")
+                expected = f"group-{g}-value-{i}".encode()
+                assert data == expected, (g, i, data)
+    print(f"  all {NUM_GROUPS * REPLICAS_PER_GROUP} replica logs hold exactly "
+          "their own group's 50 values -- no cross-group leakage.")
+    print(f"\nSwitch counters: {program.scattered} scattered writes, "
+          f"{program.forwarded_acks} aggregated ACKs across "
+          f"{control_plane.groups_configured} groups.")
+
+
+if __name__ == "__main__":
+    main()

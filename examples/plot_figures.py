@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as ASCII charts in the terminal.
+
+A quick visual check of the reproduction's shapes (reduced sweeps; the
+full runs with assertions live in ``benchmarks/``).
+
+Run:  python examples/plot_figures.py [fig5|fig6|fig7]
+"""
+
+import sys
+
+from repro.workloads.experiments import (
+    ClosedLoopDriver,
+    build_cluster,
+    measure_burst_latency,
+    measure_latency_at_load,
+)
+
+MS = 1_000_000
+
+
+def bar_chart(title: str, unit: str, rows, width: int = 46) -> None:
+    """rows: list of (label, {series: value})."""
+    print(f"\n{title}")
+    peak = max(value for _label, series in rows for value in series.values())
+    for label, series in rows:
+        for name, value in series.items():
+            bar = "#" * max(1, int(width * value / peak))
+            print(f"  {label:>9} {name:<5} {bar} {value:.2f} {unit}")
+        print()
+
+
+def goodput_point(protocol, replicas, size):
+    cluster = build_cluster(protocol, replicas, value_size=size,
+                            batching=True, seed=7)
+    cluster.await_ready()
+    driver = ClosedLoopDriver(cluster, size, window=256)
+    driver.start()
+    cluster.run_for(1 * MS)
+    driver.measuring = True
+    driver.throughput.open(cluster.sim.now)
+    cluster.run_for(2 * MS)
+    driver.throughput.close(cluster.sim.now)
+    driver.stop()
+    return driver.throughput.goodput_gbytes_per_sec
+
+
+def fig5() -> None:
+    rows = []
+    for size in (64, 512, 1024, 8192):
+        rows.append((f"{size} B", {
+            "P4CE": goodput_point("p4ce", 4, size),
+            "Mu": goodput_point("mu", 4, size),
+        }))
+    bar_chart("Fig. 5b -- goodput vs value size (4 replicas, GB/s; "
+              "link raw: 12.5)", "GB/s", rows)
+
+
+def fig6() -> None:
+    rows = []
+    for rate in (0.2e6, 0.5e6, 0.8e6, 1.4e6):
+        entry = {}
+        for protocol in ("p4ce", "mu"):
+            point = measure_latency_at_load(protocol, 4, rate,
+                                            warmup_ns=1 * MS,
+                                            window_ns=2 * MS, drain_ns=1 * MS)
+            entry[protocol.upper()[:5]] = min(point["p50_us"], 200.0)
+        rows.append((f"{rate / 1e6:.1f}M/s", entry))
+    bar_chart("Fig. 6b -- p50 latency vs offered rate (4 replicas, us; "
+              "clipped at 200)", "us", rows)
+
+
+def fig7() -> None:
+    rows = []
+    for burst in (1, 10, 100):
+        entry = {}
+        for protocol in ("p4ce", "mu"):
+            point = measure_burst_latency(protocol, 2, burst, rounds=10)
+            entry[protocol.upper()[:5]] = point["mean_burst_latency_us"]
+        rows.append((f"burst {burst}", entry))
+    bar_chart("Fig. 7 -- burst completion latency (2 replicas, us)", "us", rows)
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or ["fig5", "fig6", "fig7"]
+    for name in wanted:
+        {"fig5": fig5, "fig6": fig6, "fig7": fig7}[name]()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: a 3-machine P4CE cluster committing its first values.
+
+Builds the paper's smallest setup -- one leader, two replicas, one
+Tofino-model switch -- submits a handful of values, and prints what
+happened: the switch group that was configured, per-value commit
+latencies, and proof that every machine applied the same log.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ClusterConfig
+
+MS = 1_000_000
+
+
+def main() -> None:
+    config = ClusterConfig(num_replicas=2, protocol="p4ce", seed=42)
+    cluster = Cluster.build(config)
+
+    print("Bootstrapping a 3-machine cluster around a programmable switch...")
+    leader = cluster.await_ready()
+    print(f"  leader elected: machine {leader.node_id} "
+          f"(epoch {leader.epoch}, communication mode: {leader.comm_mode})")
+    print(f"  switch groups configured: {cluster.control_plane.groups_configured}"
+          f" (took {cluster.sim.now / MS:.1f} simulated ms -- the paper's"
+          " 40 ms data-plane reconfiguration dominates)")
+
+    commits = []
+    for i in range(10):
+        cluster.propose(f"command-{i}".encode(), commits.append)
+    cluster.run_for(5 * MS)
+
+    print(f"\nCommitted {len(commits)} values:")
+    for entry in commits:
+        print(f"  offset {entry.offset:>4}  latency {entry.latency_ns / 1e3:6.2f} us"
+              f"  payload {entry.payload.decode()}")
+
+    print("\nEvery machine applied the same log:")
+    for member in cluster.members.values():
+        applied = [payload.decode() for _off, _epoch, payload in member.applied]
+        print(f"  machine {member.node_id} ({member.role.value:<8}): {applied}")
+
+    scattered = cluster.program.scattered
+    forwarded = cluster.program.forwarded_acks
+    dropped = cluster.program.dropped_acks
+    print(f"\nSwitch data-plane counters: {scattered} writes scattered, "
+          f"{forwarded} aggregated ACKs forwarded to the leader, "
+          f"{dropped} surplus ACKs dropped in the ingress.")
+    print("Note: one write in, one ACK out -- consensus at a single "
+          "round-trip, independent of the number of replicas.")
+
+
+if __name__ == "__main__":
+    main()

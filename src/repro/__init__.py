@@ -1,0 +1,40 @@
+"""P4CE reproduction: consensus over (simulated) RDMA at line speed.
+
+Public API tour::
+
+    from repro import Cluster, ClusterConfig
+
+    cluster = Cluster.build(ClusterConfig(num_replicas=4, protocol="p4ce"))
+    cluster.await_ready()
+    cluster.propose(b"value", lambda entry: print("committed", entry))
+    cluster.run_for(1_000_000)  # one simulated millisecond
+
+Sub-packages: ``repro.sim`` (event kernel), ``repro.net`` (links/packets),
+``repro.rdma`` (RoCE v2 substrate), ``repro.switch`` (Tofino model),
+``repro.p4ce`` (the paper's data/control plane), ``repro.consensus``
+(Mu decision protocol + both communication planes), ``repro.workloads``
+(experiment drivers for every figure and table).
+"""
+
+from . import params
+from .consensus import (
+    Cluster,
+    ClusterConfig,
+    Member,
+    NotLeaderError,
+    PendingEntry,
+    Role,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "Member",
+    "NotLeaderError",
+    "PendingEntry",
+    "Role",
+    "params",
+    "__version__",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    python -m repro goodput --protocol p4ce --replicas 4 --size 1024
+    python -m repro rate
+    python -m repro latency --rate 1.4e6 --replicas 2
+    python -m repro burst --burst 100
+    python -m repro failover --fault leader
+    python -m repro demo
+
+Each subcommand builds a fresh simulated cluster, runs the corresponding
+experiment driver from :mod:`repro.workloads`, and prints one row of
+results; ``demo`` commits a few values and shows the cluster state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .consensus import Cluster, ClusterConfig
+from .workloads import (
+    measure_burst_latency,
+    measure_failover,
+    measure_goodput,
+    measure_latency_at_load,
+)
+
+MS = 1_000_000
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", choices=("p4ce", "mu"), default="p4ce")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="replica machines besides the leader")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _print_row(result: dict) -> None:
+    for key, value in result.items():
+        if isinstance(value, float):
+            print(f"  {key:<22} {value:,.3f}")
+        else:
+            print(f"  {key:<22} {value}")
+
+
+def cmd_goodput(args: argparse.Namespace) -> int:
+    result = measure_goodput(args.protocol, args.replicas, args.size,
+                             window_ns=args.window_ms * MS, seed=args.seed)
+    _print_row(result)
+    return 0
+
+
+def cmd_rate(args: argparse.Namespace) -> int:
+    result = measure_goodput(args.protocol, args.replicas, 64,
+                             window_ns=args.window_ms * MS, seed=args.seed)
+    print(f"  consensus/s            {result['ops_per_sec']:,.0f}")
+    print(f"  mean latency (us)      {result['mean_latency_us']:.2f}")
+    print(f"  communication mode     {result['comm_mode']}")
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    result = measure_latency_at_load(args.protocol, args.replicas, args.rate,
+                                     seed=args.seed)
+    _print_row(result)
+    return 0
+
+
+def cmd_burst(args: argparse.Namespace) -> int:
+    result = measure_burst_latency(args.protocol, args.replicas, args.burst,
+                                   rounds=args.rounds, seed=args.seed)
+    _print_row(result)
+    return 0
+
+
+def cmd_failover(args: argparse.Namespace) -> int:
+    result = measure_failover(args.protocol, args.replicas, args.fault,
+                              seed=args.seed)
+    _print_row(result)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    cluster = Cluster.build(ClusterConfig(num_replicas=args.replicas,
+                                          protocol=args.protocol,
+                                          seed=args.seed))
+    leader = cluster.await_ready()
+    done = []
+    for i in range(args.values):
+        cluster.propose(f"value-{i}".encode(), done.append)
+    cluster.run_for(5 * MS)
+    print(f"  leader                 m{leader.node_id} ({leader.comm_mode})")
+    print(f"  committed              {len(done)} / {args.values}")
+    if done:
+        mean = sum(e.latency_ns for e in done) / len(done) / 1e3
+        print(f"  mean latency (us)      {mean:.2f}")
+    for member in cluster.members.values():
+        print(f"  m{member.node_id} applied             {len(member.applied)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P4CE reproduction: run the paper's experiments on the "
+                    "simulated RDMA + programmable-switch substrate.")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("goodput", help="Fig. 5: goodput for one value size")
+    _add_common(p)
+    p.add_argument("--size", type=int, default=1024, help="value size in bytes")
+    p.add_argument("--window-ms", type=float, default=4.0)
+    p.set_defaults(func=cmd_goodput)
+
+    p = sub.add_parser("rate", help="section V-C: max consensus/s on 64 B")
+    _add_common(p)
+    p.add_argument("--window-ms", type=float, default=4.0)
+    p.set_defaults(func=cmd_rate)
+
+    p = sub.add_parser("latency", help="Fig. 6: latency at an offered rate")
+    _add_common(p)
+    p.add_argument("--rate", type=float, default=400e3, help="consensus/s offered")
+    p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser("burst", help="Fig. 7: burst completion latency")
+    _add_common(p)
+    p.add_argument("--burst", type=int, default=10)
+    p.add_argument("--rounds", type=int, default=20)
+    p.set_defaults(func=cmd_burst)
+
+    p = sub.add_parser("failover", help="Table IV: one fail-over time")
+    _add_common(p)
+    p.add_argument("--fault", choices=("group_config", "replica", "leader",
+                                       "switch"), default="leader")
+    p.set_defaults(func=cmd_failover)
+
+    p = sub.add_parser("demo", help="commit a few values and show the cluster")
+    _add_common(p)
+    p.add_argument("--values", type=int, default=10)
+    p.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Consensus core: the Mu decision protocol with two communication planes."""
+
+from .cluster import Cluster
+from .config import ClusterConfig
+from .heartbeat import HeartbeatService, PeerLiveness
+from .log import Log, LogEntry, encode_entry, entry_size
+from .member import CONTROL_SERVICE_ID, Member, MemberStats, NotLeaderError, Role
+from .replication import (
+    DirectReplicator,
+    PendingEntry,
+    ReplicaPath,
+    SwitchReplicator,
+    SwitchState,
+)
+
+__all__ = [
+    "CONTROL_SERVICE_ID",
+    "Cluster",
+    "ClusterConfig",
+    "DirectReplicator",
+    "HeartbeatService",
+    "Log",
+    "LogEntry",
+    "Member",
+    "MemberStats",
+    "NotLeaderError",
+    "PeerLiveness",
+    "PendingEntry",
+    "ReplicaPath",
+    "Role",
+    "SwitchReplicator",
+    "SwitchState",
+    "encode_entry",
+    "entry_size",
+]

@@ -1,0 +1,211 @@
+"""Cluster assembly: the paper's testbed in one object.
+
+``Cluster.build(config)`` wires up:
+
+* ``config.num_machines`` hosts, each with a 100 GbE link into
+* one programmable switch running the :class:`~repro.p4ce.P4ceProgram`
+  (with its control plane) -- Mu runs over the same switch, which simply
+  L3-forwards its traffic, exactly as on the real testbed;
+* optionally a second, plain L3 switch forming the backup network
+  ("provided that the replicas can be reached via another network route
+  -- which is frequent in datacenters", section III-A);
+* one :class:`~repro.consensus.member.Member` per host.
+
+The cluster is also the façade the workloads and examples use:
+``propose`` routes to the current leader, ``await_ready`` drives the
+simulation through bootstrap, and the fault-injection methods implement
+the failure modes of section V-E.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .. import params
+from ..net import AddressAllocator, Ipv4Address, connect
+from ..p4ce.controlplane import P4ceControlPlane
+from ..p4ce.dataplane import P4ceProgram
+from ..rdma.host import Host
+from ..sim import SeededRng, Simulator, Tracer
+from ..switch.forwarding import L3ForwardProgram
+from ..switch.pipeline import Switch
+from .config import ClusterConfig
+from .member import Member, NotLeaderError, PeerInfo, Role
+from .replication import PendingEntry
+
+
+class Cluster:
+    """A full deployment: hosts, switches, members."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rng = SeededRng(config.seed)
+        self.tracer = Tracer(self.sim, enabled=config.trace)
+        self._alloc = AddressAllocator()
+        self._backup_alloc = AddressAllocator(subnet="10.0.1.0",
+                                              mac_prefix=0x02_00_01_00_00_00)
+
+        # Primary switch, always running the P4CE program (Mu traffic
+        # takes its L3 miss path, as on the shared physical testbed).
+        smac, sip = self._alloc.switch_address()
+        self.switch = Switch(self.sim, "tofino", smac, sip, tracer=self.tracer)
+        self.program = P4ceProgram(
+            ack_drop_in_egress=config.ack_drop_in_egress,
+            credit_aggregation=config.credit_aggregation)
+        self.switch.load_program(self.program)
+        self.control_plane = P4ceControlPlane(
+            self.sim, self.switch, self.program,
+            rng=self.rng.fork("cp"), tracer=self.tracer,
+            randomize_psn=config.randomize_psn)
+        self.switch_ip: Ipv4Address = sip
+
+        # Backup switch (plain router).
+        self.backup_switch: Optional[Switch] = None
+        if config.backup_network:
+            bmac, bip = self._backup_alloc.switch_address()
+            self.backup_switch = Switch(self.sim, "backup-sw", bmac, bip,
+                                        tracer=self.tracer)
+            self.backup_switch.load_program(L3ForwardProgram())
+
+        self.hosts: List[Host] = []
+        self.members: Dict[int, Member] = {}
+        self._leader_hint = 0
+        self.on_leader_change: Optional[Callable[[Member], None]] = None
+        self.on_group_reconfigured: Optional[Callable[[Member], None]] = None
+        self._build()
+
+    @classmethod
+    def build(cls, config: Optional[ClusterConfig] = None, **overrides) -> "Cluster":
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        return cls(config)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        for node_id in range(self.config.num_machines):
+            mac, ip = self._alloc.next_host()
+            host = Host(self.sim, f"m{node_id}", node_id, mac, ip,
+                        rng=self.rng.fork(f"host{node_id}"), tracer=self.tracer)
+            host.nic.pmtu = self.config.pmtu
+            port = self.switch.free_port()
+            connect(self.sim, host.nic.port, port,
+                    rng=self.rng.fork(f"link{node_id}"))
+            host.nic.gateway_mac = self.switch.mac
+            self.switch.add_host_route(ip, port.index, mac)
+            if self.backup_switch is not None:
+                bmac, bip = self._backup_alloc.next_host()
+                backup_nic = host.add_backup_nic(bmac, bip)
+                backup_nic.pmtu = self.config.pmtu
+                bport = self.backup_switch.free_port()
+                connect(self.sim, backup_nic.port, bport,
+                        rng=self.rng.fork(f"blink{node_id}"))
+                backup_nic.gateway_mac = self.backup_switch.mac
+                self.backup_switch.add_host_route(bip, bport.index, bmac)
+            self.hosts.append(host)
+
+        for host in self.hosts:
+            member = Member(self, host, self.config)
+            self.members[host.node_id] = member
+
+        for member in self.members.values():
+            member.start_services()
+        for member in self.members.values():
+            for other in self.members.values():
+                if other is member:
+                    continue
+                backup_ip = (other.host.backup_nic.ip
+                             if other.host.backup_nic else None)
+                member.add_peer(PeerInfo(other.node_id, other.host.nic.ip,
+                                         backup_ip))
+        for member in self.members.values():
+            member.start_network()
+
+    # ------------------------------------------------------------------
+    # Leadership / proposals
+    # ------------------------------------------------------------------
+
+    def notify_leader(self, member: Member) -> None:
+        self._leader_hint = member.node_id
+        if self.on_leader_change is not None:
+            self.on_leader_change(member)
+
+    def notify_group_reconfigured(self, member: Member) -> None:
+        if self.on_group_reconfigured is not None:
+            self.on_group_reconfigured(member)
+
+    @property
+    def leader(self) -> Optional[Member]:
+        member = self.members.get(self._leader_hint)
+        if member is not None and member.is_leader:
+            return member
+        for candidate in self.members.values():
+            if candidate.is_leader:
+                self._leader_hint = candidate.node_id
+                return candidate
+        return None
+
+    def propose(self, payload: bytes,
+                callback: Optional[Callable[[PendingEntry], None]] = None) -> None:
+        """Submit a value to the current leader."""
+        member = self.leader
+        if member is None:
+            # A takeover may be in flight; queue at the best candidate.
+            candidates = [m for m in self.members.values()
+                          if m.role is Role.CANDIDATE]
+            if candidates:
+                candidates[0].propose(payload, callback)
+                return
+            raise NotLeaderError(self._leader_hint)
+        member.propose(payload, callback)
+
+    def await_ready(self, timeout_ns: float = 2_000_000_000) -> Member:
+        """Run the simulation until a leader is serving."""
+        ok = self.sim.run_until(lambda: self.leader is not None, timeout_ns)
+        if not ok:
+            raise RuntimeError("cluster did not elect a leader in time")
+        leader = self.leader
+        assert leader is not None
+        return leader
+
+    def run_for(self, duration_ns: float) -> None:
+        self.sim.run(until=self.sim.now + duration_ns)
+
+    # ------------------------------------------------------------------
+    # Fault injection (section V-E)
+    # ------------------------------------------------------------------
+
+    def kill_app(self, node_id: int) -> None:
+        """Kill the consensus process ("by killing the applications, as in
+        the original Mu paper"): heartbeats stop, the NIC keeps serving."""
+        self.members[node_id].stop()
+
+    def crash_host(self, node_id: int) -> None:
+        """Power the whole machine off (NIC included)."""
+        self.members[node_id].stop()
+        self.hosts[node_id].crash()
+
+    def crash_switch(self) -> None:
+        """Power off the programmable switch: every in-flight packet on
+        the primary network is lost."""
+        self.switch.power_off()
+
+    def revive_switch(self) -> None:
+        self.switch.power_on()
+
+    def switch_alive(self) -> bool:
+        return self.switch.powered
+
+    # ------------------------------------------------------------------
+
+    def total_commits(self) -> int:
+        return sum(m.commits for m in self.members.values())
+
+    def __repr__(self) -> str:
+        return (f"Cluster({self.config.protocol}, n={self.config.num_machines}, "
+                f"leader={self._leader_hint})")

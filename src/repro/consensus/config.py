@@ -1,0 +1,97 @@
+"""Cluster configuration.
+
+A :class:`ClusterConfig` fully determines a simulated deployment: the
+paper's testbed is ``ClusterConfig(num_replicas=4, protocol="p4ce")`` --
+five machines (one initial leader + four replicas) in a star around one
+Tofino, with a second plain switch as the backup route.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .. import params
+
+
+@dataclasses.dataclass
+class ClusterConfig:
+    """Everything needed to build a cluster deterministically."""
+
+    #: Number of replica machines (the leader is machine 0 on top).
+    num_replicas: int = 2
+    #: "p4ce" (switch-accelerated communication) or "mu" (the baseline).
+    protocol: str = "p4ce"
+    #: Seed of every random stream in the run.
+    seed: int = 0
+    #: Size of each machine's replicated log region.
+    log_bytes: int = params.DEFAULT_LOG_BYTES
+    #: Wire a second, plain L3 switch as the non-accelerated backup route
+    #: (used after a switch crash, section III-A "faulty switch").
+    backup_network: bool = True
+    #: Max in-flight replications at the leader (per connection); the
+    #: device limit is 16 (section IV-C).  The P4CE engine additionally
+    #: caps this so in-flight PSNs fit the 256-slot NumRecv window.
+    max_pending: int = params.MAX_PENDING_REQUESTS
+    #: Heartbeat period (ns); paper: 100 us.
+    heartbeat_period_ns: float = params.HEARTBEAT_PERIOD_NS
+    #: Missed periods before declaring a machine dead.
+    heartbeat_miss_limit: int = params.HEARTBEAT_MISS_LIMIT
+    #: RoCE path MTU.
+    pmtu: int = params.ROCE_PMTU
+    #: Typical value size of the workload; the P4CE engine uses it to cap
+    #: the in-flight window so PSNs fit the 256-slot NumRecv register
+    #: (the paper's own sizing argument, section IV-C).
+    value_size_hint: int = 64
+    #: Leader-side batching: coalesce values queued behind a full window
+    #: into a single RDMA write (doorbell batching; "when the leader
+    #: receives a burst of queries, it sends a burst of RDMA write
+    #: requests", section V-D).  The goodput experiment (Fig. 5) runs with
+    #: batching on; the consensus-rate and latency experiments count one
+    #: write per consensus and run with it off.
+    batching: bool = False
+    #: Maximum values coalesced into one write.
+    batch_max_entries: int = 16
+    #: Maximum bytes per coalesced write (keeps the in-flight PSN span
+    #: within the NumRecv window).
+    batch_max_bytes: int = 16384
+    # -- P4CE knobs ------------------------------------------------------------
+    #: Ablation: drop surplus ACKs at the leader's egress parser instead
+    #: of the replica's ingress (the paper's slow first implementation).
+    ack_drop_in_egress: bool = False
+    #: Ablation: disable in-network min-credit aggregation.
+    credit_aggregation: bool = True
+    #: Negotiate a distinct starting PSN per switch->replica connection,
+    #: exercising the data plane's PSN translation.
+    randomize_psn: bool = True
+    #: Period at which a fallen-back P4CE leader retries the switch path.
+    switch_retry_period_ns: float = params.SWITCH_RETRY_PERIOD_NS
+    #: Lesson 3's proposed improvement: configure the switch group
+    #: *asynchronously* during a view change -- the new leader serves
+    #: immediately over the direct (Mu-style) path and upgrades to the
+    #: accelerated path when the 40 ms reconfiguration completes, making
+    #: Mu's and P4CE's fail-over times identical.  Off by default to
+    #: match the system the paper measured.
+    async_reconfig: bool = False
+    #: Enable tracing (slower; for tests and debugging).
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 1:
+            raise ValueError("need at least one replica")
+        if self.protocol not in ("p4ce", "mu"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+
+    @property
+    def num_machines(self) -> int:
+        return self.num_replicas + 1
+
+    @property
+    def ack_quorum(self) -> int:
+        """f: replica ACKs required; f replicas + the leader = majority."""
+        return self.num_machines // 2
+
+    def replace(self, **changes) -> "ClusterConfig":
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,5 @@
+"""Failure injection for experiments and robustness tests."""
+
+from .injector import FaultInjector, FaultRecord, FaultSchedule
+
+__all__ = ["FaultInjector", "FaultRecord", "FaultSchedule"]

@@ -1,0 +1,155 @@
+"""Fault injection: scripted failures against a running cluster.
+
+Wraps the cluster's raw fault hooks (kill an application, crash a host,
+power a switch off) with scheduling, link-level impairments (loss,
+partition) and bookkeeping, so tests and experiments can express failure
+scripts declaratively:
+
+    schedule = FaultSchedule(cluster)
+    schedule.at_ms(5).kill_app(0)
+    schedule.at_ms(20).crash_switch()
+    schedule.at_ms(80).revive_switch()
+    schedule.arm()
+
+Every injected fault is recorded with its simulated time, so experiments
+can correlate observed behaviour (commit gaps, view changes) with the
+exact injection instants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from ..net import Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..consensus.cluster import Cluster
+
+
+class FaultRecord:
+    """One injected fault."""
+
+    __slots__ = ("time_ns", "kind", "target")
+
+    def __init__(self, time_ns: float, kind: str, target: Any):
+        self.time_ns = time_ns
+        self.kind = kind
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"Fault({self.kind}, target={self.target}, t={self.time_ns / 1e6:.2f} ms)"
+
+
+class FaultInjector:
+    """Immediate fault application + a journal of what was done."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.journal: List[FaultRecord] = []
+
+    def _record(self, kind: str, target: Any = None) -> None:
+        self.journal.append(FaultRecord(self.cluster.sim.now, kind, target))
+
+    # -- process faults ------------------------------------------------------------
+
+    def kill_app(self, node_id: int) -> None:
+        """Kill the consensus process; the NIC keeps answering one-sided
+        operations (the paper's replica/leader failure mode)."""
+        self._record("kill_app", node_id)
+        self.cluster.kill_app(node_id)
+
+    def crash_host(self, node_id: int) -> None:
+        """Power the machine off entirely."""
+        self._record("crash_host", node_id)
+        self.cluster.crash_host(node_id)
+
+    # -- switch faults -------------------------------------------------------------
+
+    def crash_switch(self) -> None:
+        self._record("crash_switch", "primary")
+        self.cluster.crash_switch()
+
+    def revive_switch(self) -> None:
+        self._record("revive_switch", "primary")
+        self.cluster.revive_switch()
+
+    # -- link impairments -----------------------------------------------------------
+
+    def _host_link(self, node_id: int, backup: bool = False) -> Optional[Link]:
+        host = self.cluster.hosts[node_id]
+        nic = host.backup_nic if backup else host.nic
+        if nic is None or nic.port.link is None:
+            return None
+        return nic.port.link
+
+    def set_loss(self, node_id: int, probability: float,
+                 backup: bool = False) -> None:
+        """Random packet loss on one host's cable."""
+        link = self._host_link(node_id, backup)
+        if link is not None:
+            self._record("set_loss", (node_id, probability))
+            link.drop_probability = probability
+
+    def partition_host(self, node_id: int, backup_too: bool = True) -> None:
+        """Unplug a host (its NICs stay up; the cables go dark)."""
+        self._record("partition", node_id)
+        for backup in ((False, True) if backup_too else (False,)):
+            link = self._host_link(node_id, backup)
+            if link is not None:
+                link.set_down()
+
+    def heal_host(self, node_id: int) -> None:
+        self._record("heal", node_id)
+        for backup in (False, True):
+            link = self._host_link(node_id, backup)
+            if link is not None:
+                link.set_up()
+                link.drop_probability = 0.0
+
+
+class _ScheduledAt:
+    """Fluent helper binding a time to the next injected fault."""
+
+    def __init__(self, schedule: "FaultSchedule", time_ns: float):
+        self._schedule = schedule
+        self._time_ns = time_ns
+
+    def __getattr__(self, name: str) -> Callable:
+        action = getattr(self._schedule.injector, name)
+
+        def deferred(*args, **kwargs):
+            self._schedule._add(self._time_ns, action, args, kwargs)
+            return self._schedule
+
+        return deferred
+
+
+class FaultSchedule:
+    """Declarative fault script executed at simulated times."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.injector = FaultInjector(cluster)
+        self._pending: List["tuple[float, Callable, tuple, dict]"] = []
+        self.armed = False
+
+    def at_ms(self, when_ms: float) -> _ScheduledAt:
+        return _ScheduledAt(self, when_ms * 1e6)
+
+    def at_ns(self, when_ns: float) -> _ScheduledAt:
+        return _ScheduledAt(self, when_ns)
+
+    def _add(self, time_ns: float, action: Callable, args, kwargs) -> None:
+        if self.armed:
+            raise RuntimeError("schedule already armed")
+        self._pending.append((time_ns, action, args, kwargs))
+
+    def arm(self) -> None:
+        """Schedule all scripted faults relative to *now*."""
+        self.armed = True
+        for time_ns, action, args, kwargs in self._pending:
+            self.cluster.sim.schedule(time_ns, action, *args, **kwargs)
+
+    @property
+    def journal(self) -> List[FaultRecord]:
+        return self.injector.journal

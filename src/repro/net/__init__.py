@@ -1,0 +1,33 @@
+"""Network substrate: addresses, headers, packets, links, topology."""
+
+from .addressing import Ipv4Address, MacAddress
+from .headers import (
+    ETHERNET_FCS_BYTES,
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetHeader,
+    Ipv4Header,
+    UdpHeader,
+)
+from .link import DirectionStats, Link, PacketSink, Port
+from .packet import ICRC_BYTES, Packet
+from .topology import AddressAllocator, connect
+
+__all__ = [
+    "AddressAllocator",
+    "DirectionStats",
+    "ETHERNET_FCS_BYTES",
+    "ETHERTYPE_IPV4",
+    "EthernetHeader",
+    "ICRC_BYTES",
+    "IPPROTO_UDP",
+    "Ipv4Address",
+    "Ipv4Header",
+    "Link",
+    "MacAddress",
+    "Packet",
+    "PacketSink",
+    "Port",
+    "UdpHeader",
+    "connect",
+]

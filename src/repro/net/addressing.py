@@ -1,0 +1,98 @@
+"""MAC and IPv4 address value types.
+
+Addresses are small immutable wrappers over integers, with parsing and
+formatting helpers.  Keeping them as dedicated types (rather than raw ints
+or strings) catches a whole class of header-rewriting bugs at construction
+time -- and header rewriting is exactly what P4CE's switch program does.
+"""
+
+from __future__ import annotations
+
+
+class MacAddress:
+    """48-bit Ethernet MAC address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not 0 <= value < (1 << 48):
+            raise ValueError(f"MAC address out of range: {value:#x}")
+        self.value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise ValueError(f"malformed MAC address: {text!r}")
+        return cls(int("".join(parts), 16))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddress":
+        if len(data) != 6:
+            raise ValueError("MAC address must be 6 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        return cls((1 << 48) - 1)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    def __str__(self) -> str:
+        raw = f"{self.value:012x}"
+        return ":".join(raw[i:i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self.value))
+
+
+class Ipv4Address:
+    """32-bit IPv4 address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if not 0 <= value < (1 << 32):
+            raise ValueError(f"IPv4 address out of range: {value:#x}")
+        self.value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"malformed IPv4 address: {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Address":
+        if len(data) != 4:
+            raise ValueError("IPv4 address must be 4 bytes")
+        return cls(int.from_bytes(data, "big"))
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"Ipv4Address('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ipv4Address) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("ipv4", self.value))

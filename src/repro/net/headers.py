@@ -1,0 +1,146 @@
+"""Ethernet, IPv4 and UDP header codecs.
+
+Each header is a mutable object with named fields, a byte-accurate
+``SIZE``, ``pack()`` to bytes and ``unpack()`` from bytes.  The simulated
+data path passes header *objects* between components for speed, but sizes
+and the pack/unpack codecs are exact, and the switch parser has a
+bytes-mode used by the parser tests to prove the two representations agree.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .addressing import Ipv4Address, MacAddress
+
+ETHERTYPE_IPV4 = 0x0800
+IPPROTO_UDP = 17
+
+#: Ethernet frame check sequence (CRC32 trailer) size in bytes.
+ETHERNET_FCS_BYTES = 4
+
+
+class EthernetHeader:
+    """14-byte Ethernet II header (FCS accounted separately)."""
+
+    SIZE = 14
+    __slots__ = ("dst", "src", "ethertype")
+
+    def __init__(self, dst: MacAddress, src: MacAddress, ethertype: int = ETHERTYPE_IPV4):
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+
+    def pack(self) -> bytes:
+        return self.dst.to_bytes() + self.src.to_bytes() + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated Ethernet header")
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        return cls(MacAddress.from_bytes(data[0:6]), MacAddress.from_bytes(data[6:12]), ethertype)
+
+    def copy(self) -> "EthernetHeader":
+        return EthernetHeader(self.dst, self.src, self.ethertype)
+
+    def __repr__(self) -> str:
+        return f"Eth(dst={self.dst}, src={self.src}, type={self.ethertype:#06x})"
+
+
+class Ipv4Header:
+    """20-byte IPv4 header (no options).
+
+    ``total_length`` covers the IPv4 header plus everything above it, as on
+    the wire.  The checksum is computed on :meth:`pack` and verified on
+    :meth:`unpack`.
+    """
+
+    SIZE = 20
+    __slots__ = ("src", "dst", "protocol", "total_length", "ttl", "identification", "dscp")
+
+    def __init__(self, src: Ipv4Address, dst: Ipv4Address, protocol: int = IPPROTO_UDP,
+                 total_length: int = SIZE, ttl: int = 64, identification: int = 0,
+                 dscp: int = 0):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.total_length = total_length
+        self.ttl = ttl
+        self.identification = identification
+        self.dscp = dscp
+
+    @staticmethod
+    def checksum(header_bytes: bytes) -> int:
+        """RFC 1071 ones-complement sum over the 20 header bytes."""
+        total = 0
+        for i in range(0, len(header_bytes), 2):
+            total += (header_bytes[i] << 8) | header_bytes[i + 1]
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        return (~total) & 0xFFFF
+
+    def pack(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        without_checksum = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl, self.dscp << 2, self.total_length,
+            self.identification, 0, self.ttl, self.protocol, 0,
+            self.src.to_bytes(), self.dst.to_bytes(),
+        )
+        csum = self.checksum(without_checksum)
+        return without_checksum[:10] + struct.pack("!H", csum) + without_checksum[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes, verify_checksum: bool = True) -> "Ipv4Header":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated IPv4 header")
+        (version_ihl, tos, total_length, identification, _flags, ttl, protocol,
+         _csum, src, dst) = struct.unpack_from("!BBHHHBBH4s4s", data, 0)
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        if (version_ihl & 0xF) != 5:
+            raise ValueError("IPv4 options are not supported")
+        if verify_checksum and cls.checksum(bytes(data[:cls.SIZE])) != 0:
+            raise ValueError("bad IPv4 header checksum")
+        return cls(Ipv4Address.from_bytes(src), Ipv4Address.from_bytes(dst),
+                   protocol, total_length, ttl, identification, tos >> 2)
+
+    def copy(self) -> "Ipv4Header":
+        return Ipv4Header(self.src, self.dst, self.protocol, self.total_length,
+                          self.ttl, self.identification, self.dscp)
+
+    def __repr__(self) -> str:
+        return f"IPv4({self.src} -> {self.dst}, proto={self.protocol}, len={self.total_length})"
+
+
+class UdpHeader:
+    """8-byte UDP header.  ``length`` covers header plus payload.
+
+    RoCE v2 permits a zero UDP checksum; we follow that convention, so the
+    switch never needs to patch a transport checksum when rewriting.
+    """
+
+    SIZE = 8
+    __slots__ = ("src_port", "dst_port", "length")
+
+    def __init__(self, src_port: int, dst_port: int, length: int = SIZE):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = length
+
+    def pack(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated UDP header")
+        src_port, dst_port, length, _csum = struct.unpack_from("!HHHH", data, 0)
+        return cls(src_port, dst_port, length)
+
+    def copy(self) -> "UdpHeader":
+        return UdpHeader(self.src_port, self.dst_port, self.length)
+
+    def __repr__(self) -> str:
+        return f"UDP({self.src_port} -> {self.dst_port}, len={self.length})"

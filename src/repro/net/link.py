@@ -1,0 +1,167 @@
+"""Full-duplex point-to-point links and device ports.
+
+A ``Port`` is a device's attachment point; a ``Link`` joins exactly two
+ports.  Each direction of a link models:
+
+* **serialization** -- the frame occupies the transmitter for
+  ``(wire_size + preamble/IFG) * 8 / rate`` ns; back-to-back frames queue
+  FIFO behind each other (this is what caps Mu's leader at 1/n of the link
+  per replica in Fig. 5);
+* **propagation** -- a fixed one-way delay;
+* **faults** -- a link can be taken down (packets silently dropped, as when
+  the paper powers off the switch) or given a random drop probability.
+
+Per-direction byte/packet counters feed the goodput benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol
+
+from .. import params
+from ..sim import SeededRng, Simulator
+from .packet import Packet
+
+
+class PacketSink(Protocol):
+    """Any device that can receive packets from one of its ports."""
+
+    def handle_packet(self, port: "Port", packet: Packet) -> None: ...
+
+
+class Port:
+    """One end of a link, owned by a device."""
+
+    __slots__ = ("device", "name", "link", "index")
+
+    def __init__(self, device: Optional[PacketSink], name: str, index: int = 0):
+        self.device = device
+        self.name = name
+        self.index = index
+        self.link: Optional[Link] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.link is not None
+
+    @property
+    def peer(self) -> Optional["Port"]:
+        if self.link is None:
+            return None
+        return self.link.other_end(self)
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit a frame.  Returns False if the port is unplugged."""
+        if self.link is None:
+            return False
+        return self.link.transmit(self, packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the link when a frame arrives at this port."""
+        if self.device is not None:
+            self.device.handle_packet(self, packet)
+
+    def __repr__(self) -> str:
+        return f"Port({self.name})"
+
+
+class DirectionStats:
+    """Counters for one direction of a link."""
+
+    __slots__ = ("frames", "bytes", "dropped")
+
+    def __init__(self) -> None:
+        self.frames = 0
+        self.bytes = 0
+        self.dropped = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"frames": self.frames, "bytes": self.bytes, "dropped": self.dropped}
+
+
+class Link:
+    """Full-duplex cable between two ports."""
+
+    def __init__(self, sim: Simulator, a: Port, b: Port,
+                 rate_bps: int = params.LINK_RATE_BPS,
+                 propagation_ns: float = params.LINK_PROPAGATION_NS,
+                 rng: Optional[SeededRng] = None,
+                 name: str = ""):
+        if a.link is not None or b.link is not None:
+            raise ValueError("port already connected")
+        self._sim = sim
+        self.a = a
+        self.b = b
+        self.rate_bps = rate_bps
+        self.propagation_ns = propagation_ns
+        self.name = name or f"{a.name}<->{b.name}"
+        self.up = True
+        self.drop_probability = 0.0
+        self._rng = rng or SeededRng(0)
+        # Per-direction transmitter horizon (FIFO serialization queue).
+        self._busy_until: Dict[int, float] = {id(a): 0.0, id(b): 0.0}
+        self.stats: Dict[int, DirectionStats] = {id(a): DirectionStats(), id(b): DirectionStats()}
+        #: Optional tap called for every frame accepted for transmission
+        #: (packet captures in tests and the fault injector).
+        self.tap: Optional[Callable[[Port, Packet], Any]] = None
+        a.link = self
+        b.link = self
+
+    def other_end(self, port: Port) -> Port:
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise ValueError(f"{port!r} is not an end of {self.name}")
+
+    def serialization_ns(self, packet: Packet) -> float:
+        return params.serialization_ns(packet.wire_size, self.rate_bps)
+
+    def queue_delay(self, src: Port) -> float:
+        """Time a frame submitted now would wait before serialization."""
+        return max(0.0, self._busy_until[id(src)] - self._sim.now)
+
+    def transmit(self, src: Port, packet: Packet) -> bool:
+        """Serialize a frame from ``src`` toward the opposite port.
+
+        Returns True if the frame was accepted by the transmitter (it may
+        still be lost in flight when the link is down or lossy -- like a
+        real cable, acceptance is not delivery).
+        """
+        dst = self.other_end(src)
+        stats = self.stats[id(src)]
+        start = max(self._busy_until[id(src)], self._sim.now)
+        finish = start + self.serialization_ns(packet)
+        self._busy_until[id(src)] = finish
+        stats.frames += 1
+        stats.bytes += packet.wire_size
+        if self.tap is not None:
+            self.tap(src, packet)
+        if not self.up or (self.drop_probability > 0.0
+                           and self._rng.chance(self.drop_probability)):
+            stats.dropped += 1
+            return True
+        self._sim.schedule_at(finish + self.propagation_ns, self._deliver, dst, packet)
+        return True
+
+    def _deliver(self, dst: Port, packet: Packet) -> None:
+        if not self.up:
+            # The link went down while the frame was in flight.
+            self.stats[id(self.other_end(dst))].dropped += 1
+            return
+        dst.deliver(packet)
+
+    # -- fault injection ------------------------------------------------------
+
+    def set_down(self) -> None:
+        """Cut the cable: all frames (queued and future) are lost."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def stats_from(self, port: Port) -> DirectionStats:
+        return self.stats[id(port)]
+
+    def __repr__(self) -> str:
+        return f"Link({self.name}, {self.rate_bps / 1e9:.0f} Gbit/s)"

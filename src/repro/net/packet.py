@@ -1,0 +1,148 @@
+"""The packet object passed through the simulated network.
+
+A ``Packet`` is a parsed header stack (Ethernet / IPv4 / UDP) plus a list
+of upper-layer headers (the RoCE headers, owned by :mod:`repro.rdma`) and a
+payload.  Components mutate header *objects*; ``pack()`` produces the exact
+byte representation, and ``wire_size`` is always byte-accurate because it
+is derived from the same header sizes the codecs use.
+
+``meta`` is simulation-side bookkeeping (ingress port, multicast replica
+id, ...) and does not exist on the wire; nothing in ``meta`` may carry
+protocol-visible information.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Protocol
+
+from .headers import ETHERNET_FCS_BYTES, EthernetHeader, Ipv4Header, UdpHeader
+
+#: RoCE invariant CRC trailer size in bytes.
+ICRC_BYTES = 4
+
+
+class UpperHeader(Protocol):
+    """Anything stackable above UDP: must know its size and byte codec."""
+
+    SIZE: int
+
+    def pack(self) -> bytes: ...
+    def copy(self) -> "UpperHeader": ...
+
+
+class Packet:
+    """One Ethernet frame in flight."""
+
+    __slots__ = ("eth", "ipv4", "udp", "upper", "payload", "has_icrc", "meta")
+
+    def __init__(self, eth: EthernetHeader, ipv4: Optional[Ipv4Header] = None,
+                 udp: Optional[UdpHeader] = None,
+                 upper: Optional[List[UpperHeader]] = None,
+                 payload: bytes = b"", has_icrc: bool = False):
+        self.eth = eth
+        self.ipv4 = ipv4
+        self.udp = udp
+        self.upper: List[UpperHeader] = upper if upper is not None else []
+        self.payload = payload
+        self.has_icrc = has_icrc
+        self.meta: Dict[str, Any] = {}
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def upper_size(self) -> int:
+        return sum(h.SIZE for h in self.upper)
+
+    @property
+    def l3_size(self) -> int:
+        """Bytes from the IPv4 header to the end of the payload/ICRC."""
+        size = len(self.payload) + self.upper_size
+        if self.has_icrc:
+            size += ICRC_BYTES
+        if self.udp is not None:
+            size += UdpHeader.SIZE
+        if self.ipv4 is not None:
+            size += Ipv4Header.SIZE
+        return size
+
+    @property
+    def wire_size(self) -> int:
+        """Frame size on the wire: MAC header + payload stack + FCS.
+
+        Preamble and inter-frame gap are accounted by the link model, not
+        here, because they are not part of the frame.
+        """
+        return EthernetHeader.SIZE + self.l3_size + ETHERNET_FCS_BYTES
+
+    # -- length fix-up and serialization ---------------------------------------
+
+    def finalize(self) -> "Packet":
+        """Recompute the IPv4/UDP length fields from the current stack.
+
+        Must be called after any change to the upper headers or payload and
+        before :meth:`pack` (the switch egress calls it after rewriting).
+        """
+        body = len(self.payload) + self.upper_size + (ICRC_BYTES if self.has_icrc else 0)
+        if self.udp is not None:
+            self.udp.length = UdpHeader.SIZE + body
+            body += UdpHeader.SIZE
+        if self.ipv4 is not None:
+            self.ipv4.total_length = Ipv4Header.SIZE + body
+        return self
+
+    def pack(self) -> bytes:
+        """Serialize to wire bytes (without preamble/IFG/FCS)."""
+        parts = [self.eth.pack()]
+        if self.ipv4 is not None:
+            parts.append(self.ipv4.pack())
+        if self.udp is not None:
+            parts.append(self.udp.pack())
+        for header in self.upper:
+            parts.append(header.pack())
+        parts.append(self.payload)
+        if self.has_icrc:
+            parts.append(b"\x00" * ICRC_BYTES)  # ICRC value modelled separately
+        return b"".join(parts)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Packet":
+        """Parse Ethernet/IPv4/UDP; upper layers stay in ``payload``.
+
+        The RoCE codecs in :mod:`repro.rdma.headers` take over from the UDP
+        payload; this keeps the net layer independent of RDMA.
+        """
+        eth = EthernetHeader.unpack(data)
+        offset = EthernetHeader.SIZE
+        ipv4: Optional[Ipv4Header] = None
+        udp: Optional[UdpHeader] = None
+        if eth.ethertype == 0x0800:
+            ipv4 = Ipv4Header.unpack(data[offset:])
+            offset += Ipv4Header.SIZE
+            if ipv4.protocol == 17:
+                udp = UdpHeader.unpack(data[offset:])
+                offset += UdpHeader.SIZE
+        return cls(eth, ipv4, udp, payload=bytes(data[offset:]))
+
+    # -- duplication ------------------------------------------------------------
+
+    def copy(self) -> "Packet":
+        """Deep-copy headers, share the (immutable) payload bytes.
+
+        This is what the switch replication engine does: each egress copy
+        gets private headers so per-replica rewriting cannot alias.
+        """
+        clone = Packet(
+            self.eth.copy(),
+            self.ipv4.copy() if self.ipv4 is not None else None,
+            self.udp.copy() if self.udp is not None else None,
+            [h.copy() for h in self.upper],
+            self.payload,
+            self.has_icrc,
+        )
+        clone.meta = dict(self.meta)
+        return clone
+
+    def __repr__(self) -> str:
+        stack = [type(h).__name__ for h in self.upper]
+        return (f"Packet(eth={self.eth!r}, ipv4={self.ipv4!r}, udp={self.udp!r}, "
+                f"upper={stack}, payload={len(self.payload)}B)")

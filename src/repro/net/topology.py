@@ -1,0 +1,55 @@
+"""Topology helpers: address allocation and cabling.
+
+The paper's testbed is a star -- every host NIC has one 100 GbE cable into
+the Tofino.  ``connect`` wires any two ports with a link;
+``AddressAllocator`` hands out deterministic MAC/IP pairs so that a
+cluster's addressing is a pure function of its size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import params
+from ..sim import SeededRng, Simulator
+from .addressing import Ipv4Address, MacAddress
+from .link import Link, Port
+
+
+class AddressAllocator:
+    """Deterministic MAC/IP allocator for a simulated subnet.
+
+    Hosts are numbered from 1; the switch conventionally takes the last
+    usable address of the /24 (``.254``) so that "is this packet addressed
+    to the switch?" is a single compare in the P4CE ingress.
+    """
+
+    def __init__(self, subnet: str = "10.0.0.0", mac_prefix: int = 0x02_00_00_00_00_00):
+        self._subnet = Ipv4Address.parse(subnet)
+        self._mac_prefix = mac_prefix
+        self._next_host = 1
+
+    def next_host(self) -> "tuple[MacAddress, Ipv4Address]":
+        index = self._next_host
+        if index >= 254:
+            raise ValueError("subnet exhausted")
+        self._next_host += 1
+        return self._address_pair(index)
+
+    def switch_address(self) -> "tuple[MacAddress, Ipv4Address]":
+        return self._address_pair(254)
+
+    def _address_pair(self, index: int) -> "tuple[MacAddress, Ipv4Address]":
+        mac = MacAddress(self._mac_prefix | index)
+        ip = Ipv4Address(self._subnet.value | index)
+        return mac, ip
+
+
+def connect(sim: Simulator, a: Port, b: Port,
+            rate_bps: int = params.LINK_RATE_BPS,
+            propagation_ns: float = params.LINK_PROPAGATION_NS,
+            rng: Optional[SeededRng] = None,
+            name: str = "") -> Link:
+    """Cable two ports together and return the link."""
+    return Link(sim, a, b, rate_bps=rate_bps, propagation_ns=propagation_ns,
+                rng=rng, name=name)

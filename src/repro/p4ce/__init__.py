@@ -1,0 +1,22 @@
+"""P4CE: the paper's in-network RDMA group-communication layer."""
+
+from .connection import ConnectionStructure
+from .controlplane import GROUP_SERVICE_ID, LOG_SERVICE_ID, P4ceControlPlane
+from .dataplane import EMPTY_CREDIT, MAX_GROUPS, P4ceProgram
+from .group import CommunicationGroup, GroupState
+from .wire import GroupRequest, LeaderAdvert, MemberAdvert
+
+__all__ = [
+    "CommunicationGroup",
+    "ConnectionStructure",
+    "EMPTY_CREDIT",
+    "GROUP_SERVICE_ID",
+    "GroupRequest",
+    "GroupState",
+    "LOG_SERVICE_ID",
+    "LeaderAdvert",
+    "MAX_GROUPS",
+    "MemberAdvert",
+    "P4ceControlPlane",
+    "P4ceProgram",
+]

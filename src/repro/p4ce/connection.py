@@ -1,0 +1,58 @@
+"""Per-connection metadata kept by the switch (paper Table III).
+
+"For each connection to an endpoint (leader and replicas), P4CE maintains
+a structure named the connection structure ... it contains the IP address
+of the endpoint, its queue pair identifier and its port.  When the
+endpoint is a replica, the structure additionally contains the virtual
+address of the buffer, the size of the buffer and the authentication key.
+P4CE internally identifies a connection with an 8-bit integer that we
+refer to as endpoint identifier."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net import Ipv4Address, MacAddress
+
+
+class ConnectionStructure:
+    """The switch's view of one RDMA connection it impersonates."""
+
+    __slots__ = ("endpoint_id", "ip", "mac", "switch_port", "qpn", "udp_port",
+                 "virtual_address", "buffer_size", "r_key", "psn_offset")
+
+    def __init__(self, endpoint_id: int, ip: Ipv4Address, mac: MacAddress,
+                 switch_port: int, qpn: int, udp_port: int,
+                 virtual_address: int = 0, buffer_size: int = 0,
+                 r_key: int = 0, psn_offset: int = 0):
+        if not 0 <= endpoint_id < 256:
+            raise ValueError("endpoint identifier is an 8-bit integer")
+        self.endpoint_id = endpoint_id
+        self.ip = ip
+        self.mac = mac
+        #: Physical switch port the endpoint is cabled to.
+        self.switch_port = switch_port
+        #: The endpoint's queue pair number (destination QP of rewrites).
+        self.qpn = qpn
+        self.udp_port = udp_port
+        # Replica-only fields:
+        #: Actual virtual address of the replica's log buffer.
+        self.virtual_address = virtual_address
+        self.buffer_size = buffer_size
+        #: Actual R_key of the replica's log region.
+        self.r_key = r_key
+        #: PSN delta between the leader-side and replica-side sequences
+        #: (replica_psn = leader_psn + offset, mod 2^24).
+        self.psn_offset = psn_offset & 0xFFFFFF
+
+    def translate_psn_to_replica(self, leader_psn: int) -> int:
+        return (leader_psn + self.psn_offset) & 0xFFFFFF
+
+    def translate_psn_to_leader(self, replica_psn: int) -> int:
+        return (replica_psn - self.psn_offset) & 0xFFFFFF
+
+    def __repr__(self) -> str:
+        return (f"Conn(ep={self.endpoint_id}, ip={self.ip}, qpn={self.qpn:#x}, "
+                f"port={self.switch_port}, va={self.virtual_address:#x}, "
+                f"rkey={self.r_key:#010x})")

@@ -1,0 +1,330 @@
+"""The P4CE data-plane program (the paper's 949 lines of P4_16).
+
+Pipeline structure, mirroring section IV:
+
+**Ingress**
+
+1. Packets whose destination IP is not the switch take the plain L3
+   forwarding path ("it is transmitted directly to its destination") --
+   this is also the path Mu's traffic takes.
+2. CM packets addressed to the switch are redirected to the control plane
+   (slow path; connections are rare).
+3. RoCE packets addressed to the switch dispatch on the destination QP:
+   * **BCast QP** hit -> scatter: reset ``NumRecv[psn]`` and hand the
+     packet to the replication engine (multicast group chosen by the
+     match-action entry);
+   * **Aggr QP** hit -> gather: NAKs are rewritten and forwarded to the
+     leader immediately; positive ACKs update the per-replica credit
+     registers, compute the running minimum with the underflow/identity-
+     hash construction (no variable-variable compares on Tofino!), bump
+     ``NumRecv[psn]`` and are forwarded only when the count reaches *f* --
+     dropped in the *ingress* otherwise (dropping them in the leader's
+     egress was the paper's first, slower implementation; the
+     ``ack_drop_in_egress`` flag reproduces it for the ablation bench).
+
+**Egress**
+
+Multicast copies are rewritten per replica from the connection-structure
+table keyed by the replication id (= endpoint identifier): Ethernet, IP,
+UDP, destination QP, PSN (per-connection offset), RETH virtual address
+(``VA + o``) and R_key.
+
+All stateful operations go through :class:`~repro.switch.registers.
+RegisterAction` (single access per packet per register) and all
+comparisons between packet values use :mod:`repro.switch.alu` helpers, so
+the program stays within the Tofino programming model this substrate
+enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .. import params
+from ..net import Packet
+from ..rdma.headers import Aeth, Bth, Reth
+from ..rdma.icrc import stamp_icrc
+from ..rdma.opcodes import (
+    AethCode,
+    Opcode,
+    WRITE_OPCODES,
+    make_syndrome,
+    syndrome_code,
+    syndrome_value,
+)
+from ..switch.alu import tofino_min
+from ..switch.pipeline import IngressVerdict, SwitchProgram
+from ..switch.registers import Register, RegisterAction
+from ..switch.tables import ExactMatchTable
+from .group import CommunicationGroup
+
+#: Maximum concurrent communication groups ("P4CE supports multiple
+#: consensus groups in parallel", section IV-A).
+MAX_GROUPS = 64
+
+#: Credit value meaning "slot unused" -- the 5-bit maximum, so an empty
+#: slot never wins the minimum.
+EMPTY_CREDIT = 31
+
+
+class P4ceProgram(SwitchProgram):
+    """P4CE's match-action program for the Tofino model."""
+
+    name = "p4ce"
+
+    def __init__(self, ack_drop_in_egress: bool = False,
+                 credit_aggregation: bool = True,
+                 recompute_icrc: bool = True):
+        super().__init__()
+        #: Recompute the invariant CRC after rewriting packet fields.
+        #: Turning this off demonstrates *why* it is mandatory: every
+        #: rewritten packet fails the NICs' ICRC check and is discarded.
+        self.recompute_icrc = recompute_icrc
+        #: Ablation: drop surplus ACKs in the leader's egress instead of
+        #: the replica's ingress (the paper's first implementation, which
+        #: capped aggregation at one parser's 121 Mpps).
+        self.ack_drop_in_egress = ack_drop_in_egress
+        #: Ablation: aggregate credits with a min (True) or naively echo
+        #: the forwarded ACK's own credit count (False).
+        self.credit_aggregation = credit_aggregation
+        # Tables (populated by the control plane).
+        self.bcast_table = ExactMatchTable("bcast_qp", ("dest_qp",), capacity=MAX_GROUPS)
+        self.aggr_table = ExactMatchTable(
+            "aggr_qp", ("dest_qp",), capacity=MAX_GROUPS * CommunicationGroup.MAX_REPLICAS)
+        self.egress_conn_table = ExactMatchTable("egress_conn", ("replication_id",),
+                                                 capacity=256)
+        # Registers.
+        self.numrecv = Register("NumRecv", MAX_GROUPS * params.NUMRECV_SLOTS, width=16)
+        self.credits = [
+            Register(f"MinCredit[{i}]", MAX_GROUPS, width=8, initial=EMPTY_CREDIT)
+            for i in range(CommunicationGroup.MAX_REPLICAS)
+        ]
+        self._numrecv_reset = RegisterAction(self.numrecv, _numrecv_reset, "reset")
+        self._numrecv_count = RegisterAction(self.numrecv, _numrecv_count, "count")
+        self._credit_update = [RegisterAction(reg, _credit_update, "update")
+                               for reg in self.credits]
+        self._credit_read = [RegisterAction(reg, _credit_read, "read")
+                             for reg in self.credits]
+        # Counters (diagnostics, mirrors P4 direct counters).
+        self.scattered = 0
+        self.gathered_acks = 0
+        self.forwarded_acks = 0
+        self.forwarded_naks = 0
+        self.dropped_acks = 0
+        self.redirected_cm = 0
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+
+    def on_ingress(self, in_port: int, packet: Packet) -> IngressVerdict:
+        if packet.ipv4 is None:
+            return IngressVerdict.drop()
+        token = packet.meta.get("packet_token", 0)
+        self._begin_packet(token)
+        if packet.ipv4.dst != self.switch.ip:
+            return self._l3_forward(packet)
+        udp = packet.udp
+        if udp is None:
+            return IngressVerdict.drop()
+        if udp.dst_port == params.CM_UDP_PORT:
+            self.redirected_cm += 1
+            return IngressVerdict.to_cpu()
+        if udp.dst_port != params.ROCE_UDP_PORT:
+            return IngressVerdict.drop()
+        bth = _find_bth(packet)
+        if bth is None:
+            return IngressVerdict.drop()
+        bcast = self.bcast_table.lookup(bth.dest_qp)
+        if bcast.action == "broadcast":
+            return self._scatter(packet, bth, bcast.params)
+        aggr = self.aggr_table.lookup(bth.dest_qp)
+        if aggr.action == "gather":
+            return self._gather(packet, bth, aggr.params)
+        # RoCE traffic for the switch IP on an unknown QP: let the control
+        # plane decide (it will ignore or diagnose it).
+        self.redirected_cm += 1
+        return IngressVerdict.to_cpu()
+
+    def _l3_forward(self, packet: Packet) -> IngressVerdict:
+        entry = self.switch.l3_table.lookup(packet.ipv4.dst.value)
+        if entry.action != "forward":
+            return IngressVerdict.drop()
+        packet.eth.src = self.switch.mac
+        packet.eth.dst = entry.params["dst_mac"]
+        return IngressVerdict.unicast(int(entry.params["port"]))
+
+    def _scatter(self, packet: Packet, bth: Bth, action: Dict) -> IngressVerdict:
+        """Leader request on a BCast QP: reset NumRecv, then replicate."""
+        if bth.opcode not in WRITE_OPCODES:
+            # Only writes are accelerated; anything else goes to the CPU.
+            return IngressVerdict.to_cpu()
+        slot = int(action["numrecv_base"]) + bth.psn % params.NUMRECV_SLOTS
+        self._numrecv_reset.execute(slot)
+        self.scattered += 1
+        tracer = self.switch.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record("p4ce-dp", "scatter", psn=bth.psn,
+                          group=int(action["multicast_group"]),
+                          op=bth.opcode.name)
+        return IngressVerdict.multicast(int(action["multicast_group"]))
+
+    def _gather(self, packet: Packet, bth: Bth, action: Dict) -> IngressVerdict:
+        """Replica ACK on an Aggr QP: count, aggregate, forward the f-th."""
+        aeth = _find_aeth(packet)
+        if aeth is None or bth.opcode is not Opcode.ACKNOWLEDGE:
+            return IngressVerdict.drop()
+        leader_psn = (bth.psn - int(action["psn_offset"])) & 0xFFFFFF
+        code = syndrome_code(aeth.syndrome)
+        if code is not AethCode.ACK:
+            # NAK/RNR: "the switch forwards it immediately to the leader".
+            self.forwarded_naks += 1
+            self._rewrite_to_leader(packet, bth, aeth, leader_psn, action,
+                                    new_syndrome=aeth.syndrome)
+            return IngressVerdict.unicast(int(action["leader_port"]))
+        self.gathered_acks += 1
+        group_index = int(action["group_index"])
+        credit_slot = int(action["credit_slot"])
+        own_credit = syndrome_value(aeth.syndrome)
+        if self.credit_aggregation:
+            min_credit = self._aggregate_credits(group_index, credit_slot, own_credit)
+        else:
+            min_credit = own_credit
+        numrecv_slot = int(action["numrecv_base"]) + leader_psn % params.NUMRECV_SLOTS
+        count = self._numrecv_count.execute(numrecv_slot)
+        tracer = self.switch.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record("p4ce-dp", "gather", psn=leader_psn, count=count,
+                          threshold=int(action["ack_threshold"]),
+                          min_credit=min_credit)
+        if count == int(action["ack_threshold"]):
+            self.forwarded_acks += 1
+            self._rewrite_to_leader(
+                packet, bth, aeth, leader_psn, action,
+                new_syndrome=make_syndrome(AethCode.ACK, min_credit))
+            return IngressVerdict.unicast(int(action["leader_port"]))
+        self.dropped_acks += 1
+        if self.ack_drop_in_egress:
+            # First-implementation behaviour: let the surplus ACK occupy
+            # the leader's egress parser before being discarded there.
+            packet.meta["p4ce_drop_in_egress"] = True
+            return IngressVerdict.unicast(int(action["leader_port"]))
+        return IngressVerdict.drop()
+
+    def _aggregate_credits(self, group_index: int, own_slot: int,
+                           own_credit: int) -> int:
+        """Min of the last credit seen from every replica of the group.
+
+        One register per replica slot, each accessed exactly once by this
+        packet: the owner's slot is updated with the fresh value, the
+        other slots are read back, and the minimum is folded with the
+        underflow/identity-hash comparison (section IV-D).
+        """
+        minimum = EMPTY_CREDIT
+        for slot in range(CommunicationGroup.MAX_REPLICAS):
+            if slot == own_slot:
+                value = self._credit_update[slot].execute(group_index, own_credit)
+            else:
+                value = self._credit_read[slot].execute(group_index)
+            minimum = tofino_min(minimum, value, width=8)
+        return minimum
+
+    def _rewrite_to_leader(self, packet: Packet, bth: Bth, aeth: Aeth,
+                           leader_psn: int, action: Dict,
+                           new_syndrome: int) -> None:
+        """Make the aggregated ACK look like a reply from the switch."""
+        packet.eth.src = self.switch.mac
+        packet.eth.dst = action["leader_mac"]
+        packet.ipv4.src = self.switch.ip
+        packet.ipv4.dst = action["leader_ip"]
+        assert packet.udp is not None
+        packet.udp.dst_port = params.ROCE_UDP_PORT
+        bth.dest_qp = int(action["leader_qpn"])
+        bth.psn = leader_psn
+        aeth.syndrome = new_syndrome
+        packet.finalize()
+        if self.recompute_icrc:
+            stamp_icrc(packet)
+
+    # ------------------------------------------------------------------
+    # Egress
+    # ------------------------------------------------------------------
+
+    def on_egress(self, out_port: int, replication_id: int, packet: Packet) -> bool:
+        if packet.meta.pop("p4ce_drop_in_egress", False):
+            return False  # ablation: surplus ACK discarded at the leader's egress
+        if replication_id == 0:
+            return True  # unicast traffic passes through untouched
+        entry = self.egress_conn_table.lookup(replication_id)
+        if entry.action != "rewrite":
+            return False
+        p = entry.params
+        packet.eth.src = self.switch.mac
+        packet.eth.dst = p["mac"]
+        packet.ipv4.src = self.switch.ip
+        packet.ipv4.dst = p["ip"]
+        packet.udp.dst_port = int(p["udp_port"])
+        bth = _find_bth(packet)
+        if bth is None:
+            return False
+        bth.dest_qp = int(p["qpn"])
+        bth.psn = (bth.psn + int(p["psn_offset"])) & 0xFFFFFF
+        reth = _find_reth(packet)
+        if reth is not None:
+            # The leader addresses a zero-based virtual buffer; "if the
+            # leader writes at offset o ... update o to write at VA + o".
+            reth.virtual_address = reth.virtual_address + int(p["va_base"])
+            reth.r_key = int(p["r_key"])
+        packet.finalize()
+        if self.recompute_icrc:
+            stamp_icrc(packet)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _begin_packet(self, token: int) -> None:
+        self.numrecv.begin_packet(token)
+        for reg in self.credits:
+            reg.begin_packet(token)
+
+
+# -- RegisterAction programs (pure, ALU-legal) ---------------------------------
+
+def _numrecv_reset(current: int, _arg) -> Tuple[int, int]:
+    return 0, 0
+
+
+def _numrecv_count(current: int, _arg) -> Tuple[int, int]:
+    new = current + 1
+    return new, new
+
+
+def _credit_update(current: int, fresh: int) -> Tuple[int, int]:
+    return fresh, fresh
+
+
+def _credit_read(current: int, _arg) -> Tuple[int, int]:
+    return current, current
+
+
+# -- header finders --------------------------------------------------------------
+
+def _find_bth(packet: Packet) -> Optional[Bth]:
+    for header in packet.upper:
+        if isinstance(header, Bth):
+            return header
+    return None
+
+
+def _find_reth(packet: Packet) -> Optional[Reth]:
+    for header in packet.upper:
+        if isinstance(header, Reth):
+            return header
+    return None
+
+
+def _find_aeth(packet: Packet) -> Optional[Aeth]:
+    for header in packet.upper:
+        if isinstance(header, Aeth):
+            return header
+    return None

@@ -1,0 +1,103 @@
+"""Per-communication-group metadata (paper Table II).
+
+A communication group has "a single source endpoint (i.e., the leader)
+and a set of destination endpoints (i.e., the replicas)".  For each group
+the switch keeps:
+
+* the **BCast QP** -- the queue pair number handed to the leader; every
+  request received on it is broadcast to the replicas;
+* the **Aggr QPs** -- one queue pair number per replica; an ACK arriving
+  on one identifies both the group and the sending replica;
+* the **MulticastGroup** id programmed into the replication engine;
+* **NumRecv** -- 256 per-PSN counters of received acknowledgements
+  ("we can aggregate 256 different PSNs per connection at a given time");
+* **MinCredit** -- per-replica last-seen credit counts whose minimum is
+  reported to the leader.
+
+The counters live in data-plane *registers*; this class records the
+layout (which slice of which register belongs to this group) plus the
+connection structures.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from .. import params
+from ..net import Ipv4Address
+from .connection import ConnectionStructure
+
+
+class GroupState(enum.Enum):
+    CONNECTING = "connecting"    # control plane mid-handshake
+    PROGRAMMING = "programming"  # tables/PRE being written
+    ACTIVE = "active"            # data plane serving at line rate
+    CLOSED = "closed"
+
+
+class CommunicationGroup:
+    """One transparently-replicated RDMA connection."""
+
+    #: Maximum replicas whose credits the pipeline can track per group
+    #: (one register per replica "arranged across the whole length of our
+    #: pipeline", section IV-D).
+    MAX_REPLICAS = 8
+
+    def __init__(self, group_index: int, leader_ip: Ipv4Address, epoch: int = 0):
+        self.group_index = group_index
+        self.leader_ip = leader_ip
+        self.epoch = epoch
+        self.state = GroupState.CONNECTING
+        #: QPN the leader sends to (allocated by the control plane).
+        self.bcast_qpn: int = 0
+        #: QPN the switch uses toward each replica, keyed by endpoint id.
+        self.aggr_qpns: Dict[int, int] = {}
+        #: Replication-engine group id.
+        self.multicast_group_id: int = 0
+        #: Leader's connection structure (endpoint id 0 by convention).
+        self.leader_conn: Optional[ConnectionStructure] = None
+        #: Replica connection structures, keyed by endpoint id (1..n).
+        self.replica_conns: Dict[int, ConnectionStructure] = {}
+        #: Virtual R_key advertised to the leader (random, per group).
+        self.virtual_rkey: int = 0
+        #: Acks needed before answering the leader (majority minus one,
+        #: because the leader's own log counts: "the f-th ACK is forwarded
+        #: ... the f replicas + the leader").
+        self.ack_threshold: int = 1
+
+    # -- register layout -------------------------------------------------------------
+
+    @property
+    def numrecv_base(self) -> int:
+        """First NumRecv cell of this group's 256-slot window."""
+        return self.group_index * params.NUMRECV_SLOTS
+
+    def numrecv_slot(self, leader_psn: int) -> int:
+        return self.numrecv_base + (leader_psn % params.NUMRECV_SLOTS)
+
+    @property
+    def credit_base(self) -> int:
+        """First MinCredit cell of this group's per-replica window."""
+        return self.group_index * self.MAX_REPLICAS
+
+    def credit_slot(self, endpoint_id: int) -> int:
+        # Endpoint ids for replicas start at 1; slot 0..MAX_REPLICAS-1.
+        return self.credit_base + (endpoint_id - 1) % self.MAX_REPLICAS
+
+    # -- membership --------------------------------------------------------------------
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.replica_conns)
+
+    def replica_by_qpn(self, aggr_qpn: int) -> Optional[ConnectionStructure]:
+        for endpoint_id, qpn in self.aggr_qpns.items():
+            if qpn == aggr_qpn:
+                return self.replica_conns.get(endpoint_id)
+        return None
+
+    def __repr__(self) -> str:
+        return (f"Group(idx={self.group_index}, leader={self.leader_ip}, "
+                f"{self.state.value}, bcast={self.bcast_qpn:#x}, "
+                f"replicas={sorted(self.replica_conns)})")

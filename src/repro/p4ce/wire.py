@@ -1,0 +1,108 @@
+"""Private-data codecs for P4CE's connection handshake.
+
+"The RDMA protocol allows ConnectRequests to be piggybacked with custom
+data.  In P4CE, we use the custom data to store the IP addresses of the
+replicas participating in the communication group." (section IV-A)
+
+Three payloads ride in CM private data:
+
+* :class:`GroupRequest` -- leader -> switch: the leader's identity plus
+  the replica IPs of the new communication group;
+* :class:`MemberAdvert` -- replica -> switch (in its ConnectReply): the
+  virtual address, length and R_key of the replica's log;
+* the switch -> leader ConnectReply reuses :class:`MemberAdvert` with the
+  *virtual* coordinates (VA 0, random virtual R_key, section IV-A).
+
+The switch's control plane also forwards the leader's identity to each
+replica in its ConnectRequest (:class:`LeaderAdvert`), so a replica can
+refuse groups created by a machine it does not consider the leader.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from ..net import Ipv4Address
+
+
+class GroupRequest:
+    """Leader -> switch: create a communication group."""
+
+    _HEAD = struct.Struct("!B4sQB")  # version, leader ip, epoch, replica count
+
+    def __init__(self, leader_ip: Ipv4Address, replica_ips: List[Ipv4Address],
+                 epoch: int = 0):
+        if not replica_ips:
+            raise ValueError("a group needs at least one replica")
+        if len(replica_ips) > 32:
+            raise ValueError("too many replicas for the private-data budget")
+        self.leader_ip = leader_ip
+        self.replica_ips = list(replica_ips)
+        self.epoch = epoch
+
+    def pack(self) -> bytes:
+        out = [self._HEAD.pack(1, self.leader_ip.to_bytes(), self.epoch,
+                               len(self.replica_ips))]
+        for ip in self.replica_ips:
+            out.append(ip.to_bytes())
+        return b"".join(out)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "GroupRequest":
+        if len(data) < cls._HEAD.size:
+            raise ValueError("truncated GroupRequest")
+        version, leader_raw, epoch, count = cls._HEAD.unpack_from(data, 0)
+        if version != 1:
+            raise ValueError(f"unknown GroupRequest version {version}")
+        need = cls._HEAD.size + 4 * count
+        if len(data) < need:
+            raise ValueError("truncated GroupRequest replica list")
+        replicas = [Ipv4Address.from_bytes(data[cls._HEAD.size + 4 * i:
+                                                cls._HEAD.size + 4 * i + 4])
+                    for i in range(count)]
+        return cls(Ipv4Address.from_bytes(leader_raw), replicas, epoch)
+
+
+class MemberAdvert:
+    """A log's remote-access coordinates: VA, length, R_key."""
+
+    _FMT = struct.Struct("!QQI")
+
+    def __init__(self, virtual_address: int, length: int, r_key: int):
+        self.virtual_address = virtual_address
+        self.length = length
+        self.r_key = r_key
+
+    def pack(self) -> bytes:
+        return self._FMT.pack(self.virtual_address, self.length, self.r_key)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "MemberAdvert":
+        if len(data) < cls._FMT.size:
+            raise ValueError("truncated MemberAdvert")
+        va, length, r_key = cls._FMT.unpack_from(data, 0)
+        return cls(va, length, r_key)
+
+    def __repr__(self) -> str:
+        return f"MemberAdvert(va={self.virtual_address:#x}, len={self.length}, rkey={self.r_key:#010x})"
+
+
+class LeaderAdvert:
+    """Switch -> replica: on whose behalf the group is being created."""
+
+    _FMT = struct.Struct("!4sQ")
+
+    def __init__(self, leader_ip: Ipv4Address, epoch: int = 0):
+        self.leader_ip = leader_ip
+        self.epoch = epoch
+
+    def pack(self) -> bytes:
+        return self._FMT.pack(self.leader_ip.to_bytes(), self.epoch)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "LeaderAdvert":
+        if len(data) < cls._FMT.size:
+            raise ValueError("truncated LeaderAdvert")
+        raw, epoch = cls._FMT.unpack_from(data, 0)
+        return cls(Ipv4Address.from_bytes(raw), epoch)

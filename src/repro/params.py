@@ -1,0 +1,197 @@
+"""Calibration constants for the P4CE reproduction.
+
+Every timing or capacity constant used by the simulated substrate lives
+here, in one place, together with the paper statement that motivates it.
+All times are expressed in integer nanoseconds (the unit of the simulated
+clock); all rates are expressed in the natural SI unit noted per constant.
+
+The constants fall into three groups:
+
+* **Physics** -- link rate, propagation, Ethernet framing overhead.  These
+  are dictated by the paper's testbed (100 Gbit/s links on an Edgecore
+  Wedge 100BF-32X, NVIDIA ConnectX-5 NICs).
+* **Device models** -- per-packet NIC and switch-pipeline processing costs.
+  These are calibrated so that the simulated system hits the absolute
+  numbers the paper reports (2.3 M consensus/s for P4CE, 1.2 M / 600 k
+  for Mu with 2 / 4 replicas, 11 GB/s goodput on a 12.5 GB/s link).
+* **Protocol knobs** -- heartbeat period, RDMA timeout, queue depths,
+  switch reconfiguration latency, directly quoted from the paper.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Physics: links
+# ---------------------------------------------------------------------------
+
+#: Link rate in bits per second.  "Each card is directly connected to the
+#: programmable switch using 100 Gbit/s Ethernet." (section V-A)
+LINK_RATE_BPS: int = 100_000_000_000
+
+#: One-way propagation delay of a host<->switch cable, in ns.  Short DAC
+#: cables inside a rack are a few metres: ~5 ns/m, plus PHY latency.
+LINK_PROPAGATION_NS: int = 200
+
+#: Ethernet on-wire overhead per frame that never reaches the MAC client:
+#: 7 B preamble + 1 B SFD + 12 B minimum inter-frame gap.
+ETHERNET_WIRE_OVERHEAD_BYTES: int = 20
+
+#: Minimum Ethernet frame size (without the 20 B wire overhead above).
+ETHERNET_MIN_FRAME_BYTES: int = 64
+
+
+def serialization_ns(frame_bytes: int, rate_bps: int = LINK_RATE_BPS) -> float:
+    """Time to clock ``frame_bytes`` (plus wire overhead) onto a link."""
+    on_wire = max(frame_bytes, ETHERNET_MIN_FRAME_BYTES) + ETHERNET_WIRE_OVERHEAD_BYTES
+    return on_wire * 8 * 1e9 / rate_bps
+
+
+# ---------------------------------------------------------------------------
+# Device model: RNIC (ConnectX-5 class)
+# ---------------------------------------------------------------------------
+
+#: Fixed NIC latency to launch a packet after its WQE is picked up, in ns.
+NIC_TX_LATENCY_NS: int = 100
+
+#: Fixed NIC latency to process an inbound packet (validate, DMA, schedule
+#: the response), in ns.  One-sided operations cost only this -- no CPU.
+NIC_RX_LATENCY_NS: int = 120
+
+#: Per-packet NIC pipeline occupancy, in ns.  A ConnectX-5 sustains roughly
+#: 200 Mpps message rate in ideal conditions; we model a slightly lower
+#: sustained rate (~166 Mpps => 6 ns/packet) as pipeline occupancy.
+NIC_PACKET_GAP_NS: int = 6
+
+#: Maximum number of outstanding (un-ACKed) write requests per connection.
+#: "a given RDMA connection can only have up to 16 pending write requests"
+#: (section IV-C).
+MAX_PENDING_REQUESTS: int = 16
+
+#: RoCE path MTU in bytes (payload per packet).  The testbed uses the
+#: Ethernet-standard 1500 B MTU, which maps to a 1024 B RoCE PMTU:
+#: "a write request may get split into multiple packets, each with a
+#: payload of 1 KiB" (section IV-B).
+ROCE_PMTU: int = 1024
+
+#: RDMA transport retransmission timeout, in ns.  "the network cards are
+#: configured to time out after 131 us (timeout values in RDMA networks can
+#: only take discrete values of the form 4.096 x 2^x us)" (section V-E).
+#: 131.072 us = 4.096 us * 2^5.
+RDMA_TIMEOUT_NS: int = 131_072
+
+#: Number of transport retries before the QP enters the error state.
+RDMA_RETRY_COUNT: int = 3
+
+
+def rdma_timeout_ns(exponent: int) -> int:
+    """IB-spec timeout formula: 4.096 us * 2^exponent, in ns."""
+    return int(4096 * (2 ** exponent))
+
+
+# ---------------------------------------------------------------------------
+# Device model: host CPU
+# ---------------------------------------------------------------------------
+# Calibration target (section V-C): on 64 B values the consensus rate is
+# CPU-bound at the leader.  P4CE posts one write and polls one completion
+# per consensus and sustains 2.3 M consensus/s => ~435 ns of leader CPU per
+# (post, poll) pair.  Mu does n of each for n replicas: 2 replicas
+# => ~870 ns => 1.15 M/s (paper: 1.2 M/s); 4 replicas => ~1.74 us
+# => 575 k/s (paper: 600 k/s).
+
+#: CPU cost for the application/driver to build and post one work request.
+CPU_POST_SEND_NS: int = 250
+
+#: CPU cost to poll and process one completion-queue entry.
+CPU_POLL_CQE_NS: int = 170
+
+#: CPU cost of the decision-plane bookkeeping done once per consensus
+#: (choosing the value, appending to the local log).  Shared by Mu and
+#: P4CE -- the decision protocol is identical (section III).
+CPU_DECISION_NS: int = 15
+
+#: Software cost for an application to (re-)establish one RDMA connection
+#: to a peer: QP allocation, address resolution on the chosen route, CM
+#: kernel path and the RESET->INIT->RTR->RTS transitions.  Calibrated so
+#: that re-establishing the connections to the replicas over the backup
+#: route after a switch crash lands at Table IV's ~60 ms ("re-establish
+#: connections using a non-accelerated alternative route, which takes
+#: most of the time").
+CONNECTION_SETUP_CPU_NS: int = 14_000_000
+
+#: CPU cost of reconfiguring local QP/MR permissions during a view change.
+#: Mu's leader election "mainly consists in changing the permissions of the
+#: queue pairs. The operation takes 0.9 ms on average" (section V-E); the
+#: dominant term is a per-QP modify that we model at 300 us each, with one
+#: modification per peer machine (3 peers in the 5-machine testbed.)
+CPU_MODIFY_QP_NS: int = 300_000
+
+# ---------------------------------------------------------------------------
+# Device model: programmable switch (Tofino 1 class)
+# ---------------------------------------------------------------------------
+
+#: Latency of one traversal of the switch pipeline (parser -> MAU stages ->
+#: deparser), in ns.  Tofino forwarding latency is a few hundred ns.
+SWITCH_PIPELINE_LATENCY_NS: int = 400
+
+#: Per-parser packet capacity in packets per second.  "each ingress and
+#: each egress parser can process 121 million packets per second"
+#: (section IV-D).
+SWITCH_PARSER_PPS: int = 121_000_000
+
+#: Occupancy of one parser slot per packet, in ns (1 / 121 Mpps).
+SWITCH_PARSER_GAP_NS: float = 1e9 / SWITCH_PARSER_PPS
+
+#: Number of in-flight PSNs the gather logic can track per connection.
+#: "we can aggregate 256 different PSNs per connection at a given time"
+#: (section IV-C).
+NUMRECV_SLOTS: int = 256
+
+#: Latency for the control plane to handle a redirected CM packet
+#: (PCIe round trip + Python handling).  Connections are rare, so this
+#: only affects setup paths.
+CONTROL_PLANE_PKT_NS: int = 1_000_000
+
+#: Time for the control plane to reprogram the data plane (tables +
+#: multicast groups) for a communication group.  "Sending a ConnectRequest
+#: and waiting for the switch to reconfigure its dataplane takes 40 ms on
+#: average" (section V-E).  CONTROL_PLANE_PKT_NS is part of this budget.
+SWITCH_RECONFIG_NS: int = 40_000_000
+
+# ---------------------------------------------------------------------------
+# Protocol knobs: decision plane (shared by Mu and P4CE)
+# ---------------------------------------------------------------------------
+
+#: Heartbeat exchange period.  "the heartbeats are exchanged every 100 us"
+#: (section V-E).
+HEARTBEAT_PERIOD_NS: int = 100_000
+
+#: Number of missed heartbeat periods before a machine is declared dead.
+#: Mu detects a crashed replica in ~0.1 ms (Table IV), i.e. about one
+#: heartbeat period; we use a small multiple for robustness and subtract
+#: nothing -- detection latency stays O(100 us).
+HEARTBEAT_MISS_LIMIT: int = 2
+
+#: Size of one log slot header: 8 B length prefix + 8 B proposal/epoch tag.
+LOG_ENTRY_HEADER_BYTES: int = 16
+
+#: Default per-replica log size in bytes.
+DEFAULT_LOG_BYTES: int = 16 * 1024 * 1024
+
+#: Initial credit count advertised by an RNIC (matches the send-queue
+#: depth usable by a peer).
+INITIAL_CREDITS: int = 32
+
+#: Period at which a P4CE leader that fell back to direct replication
+#: retries the switch-accelerated path (section III-A).
+SWITCH_RETRY_PERIOD_NS: int = 10_000_000
+
+# ---------------------------------------------------------------------------
+# Well-known ports / identifiers
+# ---------------------------------------------------------------------------
+
+#: UDP destination port of RoCE v2 traffic.
+ROCE_UDP_PORT: int = 4791
+
+#: UDP port used by the simplified connection manager (real IB CM rides on
+#: QP1 / MAD; we keep the same packet contents on a dedicated port).
+CM_UDP_PORT: int = 4790

@@ -1,0 +1,94 @@
+"""RoCE v2 RDMA substrate: headers, memory, queue pairs, NIC, CM, hosts."""
+
+from .cm import (
+    CmMessage,
+    ConnectionManager,
+    ConnectRequestInfo,
+    ListenerReply,
+    MSG_CONNECT_REJECT,
+    MSG_CONNECT_REPLY,
+    MSG_CONNECT_REQUEST,
+    MSG_DISCONNECT,
+    MSG_READY_TO_USE,
+)
+from .cq import CompletionQueue, WorkCompletion
+from .errors import (
+    CmError,
+    QpStateError,
+    RdmaError,
+    SendQueueFullError,
+    WcStatus,
+)
+from .headers import Aeth, AtomicAckEth, AtomicEth, Bth, parse_roce, Reth
+from .host import Host
+from .memory import Access, AddressSpace, MemoryRegion
+from .nic import RNic, packet_count
+from .opcodes import (
+    AethCode,
+    NakCode,
+    Opcode,
+    is_positive_ack,
+    make_syndrome,
+    saturate_credits,
+    syndrome_code,
+    syndrome_value,
+)
+from .qp import (
+    OutstandingRequest,
+    QpState,
+    QueuePair,
+    ReceiveRequest,
+    WorkRequest,
+    WrOpcode,
+    psn_add,
+    psn_distance,
+    psn_in_window,
+)
+
+__all__ = [
+    "Access",
+    "AddressSpace",
+    "Aeth",
+    "AethCode",
+    "AtomicAckEth",
+    "AtomicEth",
+    "Bth",
+    "CmError",
+    "CmMessage",
+    "CompletionQueue",
+    "ConnectRequestInfo",
+    "ConnectionManager",
+    "Host",
+    "ListenerReply",
+    "MSG_CONNECT_REJECT",
+    "MSG_CONNECT_REPLY",
+    "MSG_CONNECT_REQUEST",
+    "MSG_DISCONNECT",
+    "MSG_READY_TO_USE",
+    "MemoryRegion",
+    "NakCode",
+    "Opcode",
+    "OutstandingRequest",
+    "QpState",
+    "QpStateError",
+    "QueuePair",
+    "RNic",
+    "RdmaError",
+    "ReceiveRequest",
+    "Reth",
+    "SendQueueFullError",
+    "WcStatus",
+    "WorkCompletion",
+    "WorkRequest",
+    "WrOpcode",
+    "is_positive_ack",
+    "make_syndrome",
+    "packet_count",
+    "parse_roce",
+    "psn_add",
+    "psn_distance",
+    "psn_in_window",
+    "saturate_credits",
+    "syndrome_code",
+    "syndrome_value",
+]

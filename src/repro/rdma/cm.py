@@ -1,0 +1,356 @@
+"""InfiniBand-style connection manager (CM) over UDP.
+
+Implements the handshake the paper relies on (section II-A): a client
+sends a **ConnectRequest** carrying its QPN, starting PSN and up to 192 B
+of private data; the server answers with a **ConnectReply** (its QPN,
+starting PSN, private data -- P4CE puts the log's virtual address and
+R_key here); the client finishes with **ReadyToUse**.  A server may refuse
+with **ConnectReject**.
+
+The messages are byte-packed structures parsed from raw UDP payloads --
+the switch's control plane decodes and crafts them exactly like the real
+P4CE control plane does with Scapy.  (Deviation from the spec, documented
+in DESIGN.md: real CM rides on MAD/QP1 over the RoCE port; we use a
+dedicated UDP port and compress the MAD reserved fields.)
+
+The state machines retransmit REQ/REP a few times, so connection setup
+survives packet loss and detects dead peers by timeout.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from .. import params
+from ..net import Ipv4Address
+from ..sim import Timer
+from .errors import CmError
+from .qp import QueuePair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .host import Host
+
+MAX_PRIVATE_DATA = 192
+
+MSG_CONNECT_REQUEST = 1
+MSG_CONNECT_REPLY = 2
+MSG_READY_TO_USE = 3
+MSG_CONNECT_REJECT = 4
+MSG_DISCONNECT = 5
+
+_HEADER = struct.Struct("!BIIQIIH")  # type, local_cm_id, remote_cm_id,
+#                                      service_id, qpn, starting_psn, pd_len
+
+
+class CmMessage:
+    """One CM datagram.  Unused fields are zero for a given type."""
+
+    __slots__ = ("msg_type", "local_cm_id", "remote_cm_id", "service_id",
+                 "qpn", "starting_psn", "private_data", "reject_reason")
+
+    def __init__(self, msg_type: int, local_cm_id: int = 0, remote_cm_id: int = 0,
+                 service_id: int = 0, qpn: int = 0, starting_psn: int = 0,
+                 private_data: bytes = b"", reject_reason: int = 0):
+        if len(private_data) > MAX_PRIVATE_DATA:
+            raise ValueError(f"private data exceeds {MAX_PRIVATE_DATA} bytes")
+        self.msg_type = msg_type
+        self.local_cm_id = local_cm_id
+        self.remote_cm_id = remote_cm_id
+        self.service_id = service_id
+        self.qpn = qpn & 0xFFFFFF
+        self.starting_psn = starting_psn & 0xFFFFFF
+        self.private_data = private_data
+        self.reject_reason = reject_reason
+
+    def pack(self) -> bytes:
+        header = _HEADER.pack(self.msg_type, self.local_cm_id, self.remote_cm_id,
+                              self.service_id, self.qpn, self.starting_psn,
+                              len(self.private_data))
+        return header + bytes([self.reject_reason]) + self.private_data
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "CmMessage":
+        if len(data) < _HEADER.size + 1:
+            raise ValueError("truncated CM message")
+        (msg_type, local_id, remote_id, service_id, qpn, psn,
+         pd_len) = _HEADER.unpack_from(data, 0)
+        reason = data[_HEADER.size]
+        start = _HEADER.size + 1
+        private = bytes(data[start:start + pd_len])
+        if len(private) != pd_len:
+            raise ValueError("truncated CM private data")
+        return cls(msg_type, local_id, remote_id, service_id, qpn, psn,
+                   private, reason)
+
+    def __repr__(self) -> str:
+        names = {1: "REQ", 2: "REP", 3: "RTU", 4: "REJ", 5: "DREQ"}
+        return (f"CM-{names.get(self.msg_type, '?')}(id={self.local_cm_id}, "
+                f"peer={self.remote_cm_id}, svc={self.service_id:#x}, "
+                f"qpn={self.qpn:#x}, psn={self.starting_psn}, "
+                f"pd={len(self.private_data)}B)")
+
+
+class ConnectRequestInfo:
+    """What a listener's handler sees for an incoming request."""
+
+    __slots__ = ("src_ip", "service_id", "remote_qpn", "starting_psn",
+                 "private_data", "nic")
+
+    def __init__(self, src_ip: Ipv4Address, service_id: int, remote_qpn: int,
+                 starting_psn: int, private_data: bytes, nic=None):
+        self.src_ip = src_ip
+        self.service_id = service_id
+        self.remote_qpn = remote_qpn
+        self.starting_psn = starting_psn
+        self.private_data = private_data
+        #: The local NIC the request arrived on -- accept handlers create
+        #: their QP on this device so the connection uses the same route.
+        self.nic = nic
+
+
+class ListenerReply:
+    """Return value of a listener handler: accept with a QP, or reject."""
+
+    def __init__(self, qp: Optional[QueuePair] = None, private_data: bytes = b"",
+                 reject_reason: int = 0,
+                 on_ready: Optional[Callable[[QueuePair], None]] = None):
+        self.qp = qp
+        self.private_data = private_data
+        self.reject_reason = reject_reason
+        self.on_ready = on_ready
+
+    @property
+    def accepted(self) -> bool:
+        return self.qp is not None
+
+
+#: handler(info) -> ListenerReply.  Runs on the host CPU.
+ListenHandler = Callable[[ConnectRequestInfo], ListenerReply]
+
+#: on_established(qp_or_None, private_data, error_message_or_None)
+ConnectCallback = Callable[[Optional[QueuePair], bytes, Optional[str]], None]
+
+CM_RETRIES = 4
+
+
+class _ClientConnection:
+    """Client-side CM state for one in-flight connect."""
+
+    __slots__ = ("cm_id", "remote_ip", "qp", "request", "callback", "timer",
+                 "tries", "done", "timeout_ns", "nic")
+
+    def __init__(self, cm_id: int, remote_ip: Ipv4Address, qp: QueuePair,
+                 request: CmMessage, callback: ConnectCallback, timer: Timer,
+                 nic=None):
+        self.cm_id = cm_id
+        self.remote_ip = remote_ip
+        self.qp = qp
+        self.request = request
+        self.callback = callback
+        self.timer = timer
+        self.tries = 0
+        self.done = False
+        self.timeout_ns: float = 0.0
+        self.nic = nic
+
+
+class _ServerConnection:
+    """Server-side CM state between REP sent and RTU received."""
+
+    __slots__ = ("cm_id", "remote_ip", "remote_cm_id", "qp", "reply", "on_ready",
+                 "done", "nic")
+
+    def __init__(self, cm_id: int, remote_ip: Ipv4Address, remote_cm_id: int,
+                 qp: QueuePair, reply: CmMessage,
+                 on_ready: Optional[Callable[[QueuePair], None]], nic=None):
+        self.cm_id = cm_id
+        self.remote_ip = remote_ip
+        self.remote_cm_id = remote_cm_id
+        self.qp = qp
+        self.reply = reply
+        self.on_ready = on_ready
+        self.done = False
+        self.nic = nic
+
+
+class ConnectionManager:
+    """Per-host CM endpoint: listeners + active connects.
+
+    Handlers and callbacks run on the host CPU (a small per-message cost);
+    the rest of the protocol is pure packet exchange.  "New connections
+    are not a frequent operation" (section IV-A) -- nothing here is on the
+    data path.
+    """
+
+    #: CPU time to parse + handle one CM message in the host's CM service.
+    CPU_HANDLE_NS = 2_000
+
+    def __init__(self, host: "Host", timeout_ns: float = 5_000_000):
+        self.host = host
+        self.timeout_ns = timeout_ns
+        self._listeners: Dict[int, ListenHandler] = {}
+        self._clients: Dict[int, _ClientConnection] = {}
+        self._servers: Dict[int, _ServerConnection] = {}
+        self._next_cm_id = 1
+        self._nics = []
+        self.attach_nic(host.nic)
+
+    def attach_nic(self, nic) -> None:
+        """Serve CM traffic on an additional NIC (e.g. the backup route)."""
+        if nic in self._nics:
+            return
+        self._nics.append(nic)
+        nic.register_udp_handler(
+            params.CM_UDP_PORT,
+            lambda src_ip, src_port, payload, _nic=nic:
+                self._on_datagram(_nic, src_ip, src_port, payload))
+
+    # -- public API -----------------------------------------------------------
+
+    def listen(self, service_id: int, handler: ListenHandler) -> None:
+        if service_id in self._listeners:
+            raise CmError(f"service {service_id:#x} already has a listener")
+        self._listeners[service_id] = handler
+
+    def unlisten(self, service_id: int) -> None:
+        self._listeners.pop(service_id, None)
+
+    def connect(self, remote_ip: Ipv4Address, service_id: int, qp: QueuePair,
+                private_data: bytes, callback: ConnectCallback,
+                timeout_ns: Optional[float] = None, nic=None) -> int:
+        """Start a handshake; ``callback`` fires on success or failure.
+
+        ``timeout_ns`` overrides the per-try retransmission timeout --
+        needed when the responder is legitimately slow, e.g. a switch
+        control plane spending 40 ms reprogramming its data plane.
+        """
+        cm_id = self._next_cm_id
+        self._next_cm_id += 1
+        nic = nic or self.host.nic
+        request = CmMessage(MSG_CONNECT_REQUEST, local_cm_id=cm_id,
+                            service_id=service_id, qpn=qp.qpn,
+                            starting_psn=nic.fresh_psn(),
+                            private_data=private_data)
+        timer = Timer(self.host.sim, lambda: self._client_timeout(cm_id))
+        conn = _ClientConnection(cm_id, remote_ip, qp, request, callback, timer,
+                                 nic=nic)
+        conn.timeout_ns = timeout_ns if timeout_ns is not None else self.timeout_ns
+        self._clients[cm_id] = conn
+        self._transmit(conn)
+        return cm_id
+
+    # -- datagram handling ------------------------------------------------------
+
+    def _on_datagram(self, nic, src_ip: Ipv4Address, src_port: int,
+                     payload: bytes) -> None:
+        try:
+            message = CmMessage.unpack(payload)
+        except ValueError:
+            return
+        # CM handling is software: charge the host CPU before acting.
+        self.host.cpu.execute(self.CPU_HANDLE_NS, self._handle, nic, src_ip, message)
+
+    def _handle(self, nic, src_ip: Ipv4Address, message: CmMessage) -> None:
+        if message.msg_type == MSG_CONNECT_REQUEST:
+            self._on_request(nic, src_ip, message)
+        elif message.msg_type == MSG_CONNECT_REPLY:
+            self._on_reply(nic, src_ip, message)
+        elif message.msg_type == MSG_READY_TO_USE:
+            self._on_rtu(message)
+        elif message.msg_type == MSG_CONNECT_REJECT:
+            self._on_reject(message)
+
+    def _on_request(self, nic, src_ip: Ipv4Address, message: CmMessage) -> None:
+        handler = self._listeners.get(message.service_id)
+        if handler is None:
+            self._send(nic, src_ip, CmMessage(MSG_CONNECT_REJECT,
+                                              remote_cm_id=message.local_cm_id,
+                                              reject_reason=1))
+            return
+        # Duplicate REQ (client retransmission): re-send the existing REP.
+        for server in self._servers.values():
+            if server.remote_cm_id == message.local_cm_id and server.remote_ip == src_ip:
+                self._send(server.nic or nic, src_ip, server.reply)
+                return
+        info = ConnectRequestInfo(src_ip, message.service_id, message.qpn,
+                                  message.starting_psn, message.private_data,
+                                  nic=nic)
+        decision = handler(info)
+        if not decision.accepted:
+            self._send(nic, src_ip, CmMessage(MSG_CONNECT_REJECT,
+                                              remote_cm_id=message.local_cm_id,
+                                              reject_reason=decision.reject_reason or 2,
+                                              private_data=decision.private_data))
+            return
+        qp = decision.qp
+        assert qp is not None
+        local_psn = nic.fresh_psn()
+        qp.connect(src_ip, message.qpn, initial_psn=local_psn,
+                   expected_psn=message.starting_psn)
+        cm_id = self._next_cm_id
+        self._next_cm_id += 1
+        reply = CmMessage(MSG_CONNECT_REPLY, local_cm_id=cm_id,
+                          remote_cm_id=message.local_cm_id,
+                          qpn=qp.qpn, starting_psn=local_psn,
+                          private_data=decision.private_data)
+        self._servers[cm_id] = _ServerConnection(cm_id, src_ip, message.local_cm_id,
+                                                 qp, reply, decision.on_ready,
+                                                 nic=nic)
+        self._send(nic, src_ip, reply)
+
+    def _on_reply(self, nic, src_ip: Ipv4Address, message: CmMessage) -> None:
+        conn = self._clients.get(message.remote_cm_id)
+        if conn is None or conn.done:
+            # Late/duplicate REP: still confirm so the server finishes.
+            self._send(nic, src_ip, CmMessage(MSG_READY_TO_USE,
+                                              remote_cm_id=message.local_cm_id))
+            return
+        conn.done = True
+        conn.timer.stop()
+        conn.qp.connect(conn.remote_ip, message.qpn,
+                        initial_psn=conn.request.starting_psn,
+                        expected_psn=message.starting_psn)
+        self._send(conn.nic or nic, src_ip,
+                   CmMessage(MSG_READY_TO_USE,
+                             local_cm_id=conn.cm_id,
+                             remote_cm_id=message.local_cm_id))
+        conn.callback(conn.qp, message.private_data, None)
+
+    def _on_rtu(self, message: CmMessage) -> None:
+        server = self._servers.get(message.remote_cm_id)
+        if server is None or server.done:
+            return
+        server.done = True
+        if server.on_ready is not None:
+            server.on_ready(server.qp)
+
+    def _on_reject(self, message: CmMessage) -> None:
+        conn = self._clients.get(message.remote_cm_id)
+        if conn is None or conn.done:
+            return
+        conn.done = True
+        conn.timer.stop()
+        conn.callback(None, message.private_data,
+                      f"rejected (reason {message.reject_reason})")
+
+    # -- retransmission -----------------------------------------------------------
+
+    def _transmit(self, conn: _ClientConnection) -> None:
+        conn.tries += 1
+        self._send(conn.nic or self.host.nic, conn.remote_ip, conn.request)
+        conn.timer.restart(conn.timeout_ns or self.timeout_ns)
+
+    def _client_timeout(self, cm_id: int) -> None:
+        conn = self._clients.get(cm_id)
+        if conn is None or conn.done:
+            return
+        if conn.tries >= CM_RETRIES:
+            conn.done = True
+            conn.callback(None, b"", "connect timed out")
+            return
+        self._transmit(conn)
+
+    def _send(self, nic, dst_ip: Ipv4Address, message: CmMessage) -> None:
+        nic.send_udp(dst_ip, params.CM_UDP_PORT, message.pack(),
+                     src_port=params.CM_UDP_PORT)

@@ -1,0 +1,71 @@
+"""Completion queues and work-completion entries."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from .errors import WcStatus
+
+
+class WorkCompletion:
+    """One completion-queue entry (mirrors ibv_wc)."""
+
+    __slots__ = ("wr_id", "status", "opcode_name", "byte_len", "qp_num", "timestamp")
+
+    def __init__(self, wr_id: int, status: WcStatus, opcode_name: str,
+                 byte_len: int, qp_num: int, timestamp: float):
+        self.wr_id = wr_id
+        self.status = status
+        self.opcode_name = opcode_name
+        self.byte_len = byte_len
+        self.qp_num = qp_num
+        self.timestamp = timestamp
+
+    @property
+    def ok(self) -> bool:
+        return self.status is WcStatus.SUCCESS
+
+    def __repr__(self) -> str:
+        return (f"WC(wr_id={self.wr_id}, {self.status.name}, op={self.opcode_name}, "
+                f"len={self.byte_len}, qp={self.qp_num:#x})")
+
+
+class CompletionQueue:
+    """FIFO of work completions with an optional arm-able callback.
+
+    ``poll`` is the verbs-style non-blocking drain; ``on_completion`` (when
+    set) is invoked for every pushed CQE and models an event channel --
+    the consensus engines use it to chain the next pipeline step without
+    busy-polling, while still paying the configured CPU poll cost at the
+    call site.
+    """
+
+    def __init__(self, name: str = "cq", capacity: int = 65536):
+        self.name = name
+        self.capacity = capacity
+        self._entries: Deque[WorkCompletion] = deque()
+        self.on_completion: Optional[Callable[[WorkCompletion], None]] = None
+        self.overflowed = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, wc: WorkCompletion) -> None:
+        if len(self._entries) >= self.capacity:
+            # A real CQ overrun is a fatal async event; remember it.
+            self.overflowed = True
+            return
+        self._entries.append(wc)
+        if self.on_completion is not None:
+            self.on_completion(wc)
+
+    def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
+        """Drain up to ``max_entries`` completions (ibv_poll_cq)."""
+        out: List[WorkCompletion] = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def poll_one(self) -> Optional[WorkCompletion]:
+        return self._entries.popleft() if self._entries else None

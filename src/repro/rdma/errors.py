@@ -1,0 +1,33 @@
+"""RDMA error taxonomy and work-completion status codes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class WcStatus(enum.Enum):
+    """Work-completion status (mirrors ibv_wc_status)."""
+
+    SUCCESS = "success"
+    REMOTE_ACCESS_ERROR = "remote access error"
+    REMOTE_OPERATIONAL_ERROR = "remote operational error"
+    RETRY_EXCEEDED = "transport retry counter exceeded"
+    WR_FLUSH_ERROR = "work request flushed"
+    BAD_RESPONSE = "bad response"
+    LOCAL_PROTECTION_ERROR = "local protection error"
+
+
+class RdmaError(Exception):
+    """Base class for local (caller-side) RDMA API misuse."""
+
+
+class QpStateError(RdmaError):
+    """Operation illegal in the QP's current state."""
+
+
+class SendQueueFullError(RdmaError):
+    """The send queue has no free slot for the work request."""
+
+
+class CmError(RdmaError):
+    """Connection-manager failure (rejected, timed out, ...)."""

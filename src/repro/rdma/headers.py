@@ -1,0 +1,239 @@
+"""RoCE v2 transport header codecs: BTH, RETH, AETH.
+
+Layouts follow the InfiniBand Architecture Specification (IBTA vol 1):
+
+* **BTH** (Base Transport Header, 12 B) -- opcode, destination QP, PSN,
+  AckReq bit.  Present in every RoCE packet; this is where P4CE rewrites
+  the destination queue pair and PSN.
+* **RETH** (RDMA Extended Transport Header, 16 B) -- virtual address,
+  R_key, DMA length.  Present in the first/only packet of a write and in
+  read requests; this is where P4CE rewrites VA and R_key per replica.
+* **AETH** (ACK Extended Transport Header, 4 B) -- syndrome (ACK+credits
+  or NAK code) and MSN.  Present in ACKs and read responses; this is what
+  P4CE's gather logic counts and whose credits it aggregates.
+
+These objects double as :class:`repro.net.packet.Packet` upper headers
+(``SIZE`` / ``pack`` / ``copy``), and ``parse_roce`` reassembles a header
+stack from raw UDP payload bytes -- used by the switch parser tests to
+prove object-mode and bytes-mode agree.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from .opcodes import AETH_OPCODES, Opcode, RETH_OPCODES
+
+PSN_MASK = 0xFFFFFF
+QPN_MASK = 0xFFFFFF
+
+
+class Bth:
+    """Base Transport Header (12 bytes)."""
+
+    SIZE = 12
+    __slots__ = ("opcode", "dest_qp", "psn", "ack_req", "solicited", "partition_key")
+
+    def __init__(self, opcode: Opcode, dest_qp: int, psn: int,
+                 ack_req: bool = False, solicited: bool = False,
+                 partition_key: int = 0xFFFF):
+        self.opcode = Opcode(opcode)
+        self.dest_qp = dest_qp & QPN_MASK
+        self.psn = psn & PSN_MASK
+        self.ack_req = ack_req
+        self.solicited = solicited
+        self.partition_key = partition_key
+
+    def pack(self) -> bytes:
+        flags = 0x40 if self.solicited else 0  # SE bit | MigReq | PadCnt | TVer
+        ack_psn = ((1 << 31) if self.ack_req else 0) | self.psn
+        return struct.pack("!BBHI I",
+                           int(self.opcode), flags, self.partition_key,
+                           self.dest_qp, ack_psn)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Bth":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated BTH")
+        opcode, flags, pkey, dest_qp, ack_psn = struct.unpack_from("!BBHII", data, 0)
+        return cls(Opcode(opcode), dest_qp & QPN_MASK, ack_psn & PSN_MASK,
+                   ack_req=bool(ack_psn & (1 << 31)), solicited=bool(flags & 0x40),
+                   partition_key=pkey)
+
+    def copy(self) -> "Bth":
+        return Bth(self.opcode, self.dest_qp, self.psn, self.ack_req,
+                   self.solicited, self.partition_key)
+
+    def __repr__(self) -> str:
+        return (f"BTH({self.opcode.name}, qp={self.dest_qp:#x}, psn={self.psn}"
+                f"{', ackreq' if self.ack_req else ''})")
+
+
+class Reth:
+    """RDMA Extended Transport Header (16 bytes): VA, R_key, DMA length."""
+
+    SIZE = 16
+    __slots__ = ("virtual_address", "r_key", "dma_length")
+
+    def __init__(self, virtual_address: int, r_key: int, dma_length: int):
+        self.virtual_address = virtual_address
+        self.r_key = r_key
+        self.dma_length = dma_length
+
+    def pack(self) -> bytes:
+        return struct.pack("!QII", self.virtual_address, self.r_key, self.dma_length)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Reth":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated RETH")
+        va, rkey, length = struct.unpack_from("!QII", data, 0)
+        return cls(va, rkey, length)
+
+    def copy(self) -> "Reth":
+        return Reth(self.virtual_address, self.r_key, self.dma_length)
+
+    def __repr__(self) -> str:
+        return f"RETH(va={self.virtual_address:#x}, rkey={self.r_key:#x}, len={self.dma_length})"
+
+
+class Aeth:
+    """ACK Extended Transport Header (4 bytes): syndrome + MSN."""
+
+    SIZE = 4
+    __slots__ = ("syndrome", "msn")
+
+    def __init__(self, syndrome: int, msn: int):
+        if not 0 <= syndrome < 256:
+            raise ValueError("syndrome must fit in 8 bits")
+        self.syndrome = syndrome
+        self.msn = msn & PSN_MASK
+
+    def pack(self) -> bytes:
+        return struct.pack("!I", (self.syndrome << 24) | self.msn)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Aeth":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated AETH")
+        (word,) = struct.unpack_from("!I", data, 0)
+        return cls(word >> 24, word & PSN_MASK)
+
+    def copy(self) -> "Aeth":
+        return Aeth(self.syndrome, self.msn)
+
+    def __repr__(self) -> str:
+        return f"AETH(syndrome={self.syndrome:#04x}, msn={self.msn})"
+
+
+class AtomicEth:
+    """Atomic Extended Transport Header (28 bytes): VA, R_key, operands.
+
+    Carried by COMPARE_SWAP and FETCH_ADD requests.  For CAS,
+    ``swap_or_add`` is the swap value and ``compare`` the expected value;
+    for FETCH_ADD, ``swap_or_add`` is the addend and ``compare`` unused.
+    """
+
+    SIZE = 28
+    __slots__ = ("virtual_address", "r_key", "swap_or_add", "compare")
+
+    def __init__(self, virtual_address: int, r_key: int, swap_or_add: int,
+                 compare: int = 0):
+        self.virtual_address = virtual_address
+        self.r_key = r_key
+        self.swap_or_add = swap_or_add & 0xFFFFFFFFFFFFFFFF
+        self.compare = compare & 0xFFFFFFFFFFFFFFFF
+
+    def pack(self) -> bytes:
+        return struct.pack("!QIQQ", self.virtual_address, self.r_key,
+                           self.swap_or_add, self.compare)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "AtomicEth":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated AtomicETH")
+        va, rkey, swap_add, compare = struct.unpack_from("!QIQQ", data, 0)
+        return cls(va, rkey, swap_add, compare)
+
+    def copy(self) -> "AtomicEth":
+        return AtomicEth(self.virtual_address, self.r_key, self.swap_or_add,
+                         self.compare)
+
+    def __repr__(self) -> str:
+        return (f"AtomicETH(va={self.virtual_address:#x}, rkey={self.r_key:#x}, "
+                f"swap/add={self.swap_or_add}, cmp={self.compare})")
+
+
+class AtomicAckEth:
+    """Atomic ACK Extended Transport Header (8 bytes): the original value."""
+
+    SIZE = 8
+    __slots__ = ("original",)
+
+    def __init__(self, original: int):
+        self.original = original & 0xFFFFFFFFFFFFFFFF
+
+    def pack(self) -> bytes:
+        return struct.pack("!Q", self.original)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "AtomicAckEth":
+        if len(data) < cls.SIZE:
+            raise ValueError("truncated AtomicAckETH")
+        (original,) = struct.unpack_from("!Q", data, 0)
+        return cls(original)
+
+    def copy(self) -> "AtomicAckEth":
+        return AtomicAckEth(self.original)
+
+    def __repr__(self) -> str:
+        return f"AtomicAckETH(original={self.original})"
+
+
+RoceStack = Tuple[Bth, Optional[Reth], Optional[Aeth], bytes]
+
+
+def parse_roce(data: bytes, has_icrc: bool = True) -> RoceStack:
+    """Parse a RoCE v2 UDP payload into (BTH, RETH?, AETH?, payload).
+
+    The trailing 4-byte ICRC, when present, is stripped from the payload.
+    """
+    bth = Bth.unpack(data)
+    offset = Bth.SIZE
+    reth: Optional[Reth] = None
+    aeth: Optional[Aeth] = None
+    if bth.opcode in RETH_OPCODES:
+        reth = Reth.unpack(data[offset:])
+        offset += Reth.SIZE
+    if bth.opcode in (Opcode.COMPARE_SWAP, Opcode.FETCH_ADD):
+        offset += AtomicEth.SIZE  # decoded separately by the NIC
+    if bth.opcode in AETH_OPCODES:
+        aeth = Aeth.unpack(data[offset:])
+        offset += Aeth.SIZE
+    if bth.opcode is Opcode.ATOMIC_ACKNOWLEDGE:
+        aeth = Aeth.unpack(data[offset:])
+        offset += Aeth.SIZE + AtomicAckEth.SIZE
+    payload = data[offset:]
+    if has_icrc:
+        if len(payload) < 4:
+            raise ValueError("RoCE packet too short for ICRC")
+        payload = payload[:-4]
+    return bth, reth, aeth, bytes(payload)
+
+
+def roce_stack(packet_upper: List[object]) -> RoceStack:
+    """Extract (BTH, RETH?, AETH?) from a Packet's upper-header list."""
+    bth: Optional[Bth] = None
+    reth: Optional[Reth] = None
+    aeth: Optional[Aeth] = None
+    for header in packet_upper:
+        if isinstance(header, Bth):
+            bth = header
+        elif isinstance(header, Reth):
+            reth = header
+        elif isinstance(header, Aeth):
+            aeth = header
+    if bth is None:
+        raise ValueError("no BTH in packet")
+    return bth, reth, aeth, b""

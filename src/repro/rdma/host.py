@@ -1,0 +1,205 @@
+"""A host machine: one CPU core, registered memory, one or two RNICs.
+
+``Host`` is the glue between the application layer (consensus engines,
+workloads) and the RDMA substrate.  It owns:
+
+* a :class:`~repro.sim.Cpu` -- the single core running the decision
+  protocol; every verbs call crosses it with the calibrated cost
+  (``CPU_POST_SEND_NS`` to post, ``CPU_POLL_CQE_NS`` per completion),
+  which is precisely the resource Mu saturates and P4CE economizes;
+* an :class:`~repro.rdma.memory.AddressSpace` shared by all of the host's
+  NICs (a multi-homed host registers memory once);
+* a primary :class:`~repro.rdma.nic.RNic` and, optionally, a backup NIC on
+  a second network -- the "another network route, which is frequent in
+  datacenters" the paper uses when the switch crashes;
+* the host's :class:`~repro.rdma.cm.ConnectionManager`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .. import params
+from ..net import Ipv4Address, MacAddress
+from ..sim import Cpu, SeededRng, Simulator, Tracer
+from .cm import ConnectionManager
+from .cq import CompletionQueue, WorkCompletion
+from .errors import SendQueueFullError
+from .headers import Bth
+from .memory import Access, AddressSpace, MemoryRegion
+from .nic import RNic
+from .qp import QueuePair, ReceiveRequest, WorkRequest, WrOpcode
+
+
+class Host:
+    """One server machine of the testbed."""
+
+    def __init__(self, sim: Simulator, name: str, node_id: int,
+                 mac: MacAddress, ip: Ipv4Address,
+                 rng: Optional[SeededRng] = None,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.name = name
+        self.node_id = node_id
+        self._rng = rng or SeededRng(node_id)
+        self.tracer = tracer
+        self.cpu = Cpu(sim, name=f"{name}.cpu")
+        self.address_space = AddressSpace(self._rng.fork("mem"))
+        self.nic = RNic(sim, self, f"{name}.nic0", mac, ip,
+                        rng=self._rng.fork("nic0"), tracer=tracer)
+        self.backup_nic: Optional[RNic] = None
+        self.cm = ConnectionManager(self)
+        self.alive = True
+        self.send_queue_overflows = 0
+        self._next_wr_id = 1
+        #: Observers of inbound remote writes (replicas "consume the
+        #: content of their own logs" by polling; the hook models the poll
+        #: noticing fresh bytes without simulating a spin loop).
+        self.remote_write_watchers: List[Callable[[QueuePair, Bth, bytes], None]] = []
+
+    # -- topology ----------------------------------------------------------------
+
+    def add_backup_nic(self, mac: MacAddress, ip: Ipv4Address) -> RNic:
+        """Attach the second-port NIC used for the non-accelerated route."""
+        self.backup_nic = RNic(self.sim, self, f"{self.name}.nic1", mac, ip,
+                               rng=self._rng.fork("nic1"), tracer=self.tracer)
+        self.cm.attach_nic(self.backup_nic)
+        return self.backup_nic
+
+    @property
+    def nics(self) -> List[RNic]:
+        return [self.nic] + ([self.backup_nic] if self.backup_nic else [])
+
+    @property
+    def ip(self) -> Ipv4Address:
+        return self.nic.ip
+
+    # -- verbs with CPU cost ------------------------------------------------------
+
+    def fresh_wr_id(self) -> int:
+        wr_id = self._next_wr_id
+        self._next_wr_id += 1
+        return wr_id
+
+    def reg_mr(self, length: int, access: Access, name: str = "") -> MemoryRegion:
+        return self.address_space.register(length, access, name)
+
+    def create_cq(self, name: str = "") -> CompletionQueue:
+        return CompletionQueue(name or f"{self.name}.cq")
+
+    def create_qp(self, cq: CompletionQueue, nic: Optional[RNic] = None,
+                  max_pending: int = params.MAX_PENDING_REQUESTS) -> QueuePair:
+        return (nic or self.nic).create_qp(cq, max_pending=max_pending)
+
+    def post_send(self, qp: QueuePair, wr: WorkRequest,
+                  nic: Optional[RNic] = None,
+                  on_posted: Optional[Callable[[], None]] = None) -> None:
+        """Post a work request, paying the driver's CPU cost first."""
+        if not self.alive:
+            return
+        device = nic or self._nic_of(qp)
+
+        def do_post() -> None:
+            if self.alive and qp.state.value != "error":
+                try:
+                    device.post_send(qp, wr)
+                except SendQueueFullError:
+                    # A pathologically backlogged path (e.g. a straggler
+                    # replica during fallback): the write is shed; quorum
+                    # progress never depends on a single replica.
+                    self.send_queue_overflows += 1
+            if on_posted is not None:
+                on_posted()
+
+        self.cpu.execute(params.CPU_POST_SEND_NS, do_post)
+
+    def post_write(self, qp: QueuePair, data: bytes, remote_va: int, r_key: int,
+                   signaled: bool = True, nic: Optional[RNic] = None,
+                   wr_id: Optional[int] = None) -> int:
+        wr_id = self.fresh_wr_id() if wr_id is None else wr_id
+        wr = WorkRequest(wr_id, WrOpcode.RDMA_WRITE, data=data,
+                         remote_va=remote_va, r_key=r_key, signaled=signaled)
+        self.post_send(qp, wr, nic=nic)
+        return wr_id
+
+    def post_read(self, qp: QueuePair, local_va: int, remote_va: int, r_key: int,
+                  length: int, signaled: bool = True,
+                  nic: Optional[RNic] = None) -> int:
+        wr_id = self.fresh_wr_id()
+        wr = WorkRequest(wr_id, WrOpcode.RDMA_READ, remote_va=remote_va,
+                         r_key=r_key, length=length, local_va=local_va,
+                         signaled=signaled)
+        self.post_send(qp, wr, nic=nic)
+        return wr_id
+
+    def post_cas(self, qp: QueuePair, remote_va: int, r_key: int,
+                 compare: int, swap: int, local_va: int = 0) -> int:
+        """Post a 64-bit compare-and-swap; the original lands at local_va."""
+        wr_id = self.fresh_wr_id()
+        wr = WorkRequest(wr_id, WrOpcode.COMPARE_SWAP, remote_va=remote_va,
+                         r_key=r_key, compare=compare, swap_or_add=swap,
+                         local_va=local_va)
+        self.post_send(qp, wr)
+        return wr_id
+
+    def post_fetch_add(self, qp: QueuePair, remote_va: int, r_key: int,
+                       delta: int, local_va: int = 0) -> int:
+        """Post a 64-bit fetch-and-add; the original lands at local_va."""
+        wr_id = self.fresh_wr_id()
+        wr = WorkRequest(wr_id, WrOpcode.FETCH_ADD, remote_va=remote_va,
+                         r_key=r_key, swap_or_add=delta, local_va=local_va)
+        self.post_send(qp, wr)
+        return wr_id
+
+    def post_recv(self, qp: QueuePair, local_va: int, length: int) -> int:
+        wr_id = self.fresh_wr_id()
+        self._nic_of(qp).post_receive(qp, ReceiveRequest(wr_id, local_va, length))
+        return wr_id
+
+    def handle_completion(self, wc: WorkCompletion,
+                          fn: Callable[[WorkCompletion], None]) -> None:
+        """Process a CQE on the host CPU (ibv_poll_cq + app logic)."""
+        if not self.alive:
+            return
+        self.cpu.execute(params.CPU_POLL_CQE_NS, fn, wc)
+
+    def modify_qp_permissions(self, qp: QueuePair, *, remote_write: bool,
+                              on_done: Optional[Callable[[], None]] = None) -> None:
+        """Flip a QP's remote-write permission (the leadership lever).
+
+        Charged at ``CPU_MODIFY_QP_NS`` -- this is what makes Mu's leader
+        change take ~0.9 ms over three peers (Table IV).
+        """
+
+        def apply() -> None:
+            qp.remote_write_allowed = remote_write
+            if on_done is not None:
+                on_done()
+
+        self.cpu.execute(params.CPU_MODIFY_QP_NS, apply)
+
+    # -- NIC callbacks --------------------------------------------------------------
+
+    def notify_remote_write(self, qp: QueuePair, bth: Bth, payload: bytes) -> None:
+        """Called by a NIC when an inbound RDMA write message completes."""
+        if not self.alive:
+            return
+        for watcher in list(self.remote_write_watchers):
+            watcher(qp, bth, payload)
+
+    def _nic_of(self, qp: QueuePair) -> RNic:
+        for nic in self.nics:
+            if qp.qpn in nic.qps:
+                return nic
+        return self.nic
+
+    # -- failure injection -------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the machine: the application stops, the NICs go dark."""
+        self.alive = False
+        for nic in self.nics:
+            nic.power_off()
+
+    def __repr__(self) -> str:
+        return f"Host({self.name}, id={self.node_id}, ip={self.ip})"

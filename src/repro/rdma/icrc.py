@@ -1,0 +1,67 @@
+"""ICRC: the RoCE v2 invariant CRC.
+
+Every RoCE packet ends with a 4-byte CRC covering the fields that do not
+change in flight: the IP pseudo-header (with mutable fields like TTL
+masked to ones), UDP, BTH (with the resync bit masked) and everything
+above it.  The receiving NIC silently drops packets whose ICRC does not
+match -- which is exactly why transparently rewriting RDMA packets in a
+switch is delicate: after P4CE rewrites the destination QP, PSN, VA and
+R_key, it *must* recompute the ICRC, or every replica would discard the
+scattered writes.
+
+We compute a CRC32 over a canonical byte string of the covered fields
+(DESIGN.md documents the simplification versus the IBTA bit-exact
+polynomial coverage: the masked-field *set* matches the spec; reserved
+regions are compressed).  The properties that matter are preserved:
+
+* any change to a covered field invalidates the checksum;
+* changes to masked fields (TTL, DSCP) do not;
+* the switch's egress rewrite must call :func:`compute_icrc` again.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional
+
+from ..net import Packet
+from .headers import Aeth, Bth, Reth
+
+
+def compute_icrc(packet: Packet) -> int:
+    """ICRC over the packet's invariant fields."""
+    if packet.ipv4 is None or packet.udp is None:
+        raise ValueError("not a routable RoCE packet")
+    parts = [
+        # IP pseudo-header: addresses + protocol; TTL/DSCP/checksum are
+        # mutable and masked (represented by their absence here).
+        packet.ipv4.src.to_bytes(),
+        packet.ipv4.dst.to_bytes(),
+        struct.pack("!BH", packet.ipv4.protocol, packet.udp.dst_port),
+        # UDP length (source port is entropy, masked like the spec's
+        # variant fields for ECMP-friendly middleboxes).
+        struct.pack("!H", packet.udp.length),
+    ]
+    for header in packet.upper:
+        if isinstance(header, (Bth, Reth, Aeth)):
+            parts.append(header.pack())
+    parts.append(packet.payload)
+    return zlib.crc32(b"".join(parts)) & 0xFFFFFFFF
+
+
+def stamp_icrc(packet: Packet) -> None:
+    """Compute and attach the ICRC (sender NIC / switch egress)."""
+    packet.meta["icrc"] = compute_icrc(packet)
+
+
+def check_icrc(packet: Packet) -> bool:
+    """Validate the attached ICRC (receiver NIC).
+
+    A packet with no attached ICRC is treated as corrupt -- hardware
+    never emits one without.
+    """
+    attached: Optional[int] = packet.meta.get("icrc")
+    if attached is None:
+        return False
+    return attached == compute_icrc(packet)

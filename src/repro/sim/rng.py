@@ -1,0 +1,63 @@
+"""Deterministic random-number utilities.
+
+Everything stochastic in the simulation (R_key generation, initial PSNs,
+fault-injection coin flips, workload inter-arrival jitter) draws from a
+``SeededRng`` so that a run is a pure function of its configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """Thin wrapper around :class:`random.Random` with domain helpers."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, label: str) -> "SeededRng":
+        """Derive an independent, reproducible sub-stream.
+
+        Components take a fork keyed by their name so that adding a new
+        consumer of randomness does not perturb existing streams.
+        """
+        return SeededRng(hash((self.seed, label)) & 0xFFFF_FFFF_FFFF_FFFF)
+
+    # -- primitive draws ----------------------------------------------------
+
+    def u32(self) -> int:
+        """Uniform 32-bit unsigned integer (used for R_keys)."""
+        return self._rng.getrandbits(32)
+
+    def u24(self) -> int:
+        """Uniform 24-bit unsigned integer (used for QPNs and PSNs)."""
+        return self._rng.getrandbits(24)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential inter-arrival sample with the given rate (1/ns)."""
+        return self._rng.expovariate(rate)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        if probability <= 0:
+            return False
+        if probability >= 1:
+            return True
+        return self._rng.random() < probability
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def bytes(self, n: int) -> bytes:
+        return self._rng.getrandbits(8 * n).to_bytes(n, "big") if n else b""

@@ -1,0 +1,89 @@
+"""Timer helpers built on the event kernel.
+
+``Timer`` is a restartable one-shot (used for RDMA retransmission timers);
+``PeriodicTimer`` fires at a fixed period (used for heartbeats and pollers).
+Both deal in nanoseconds, like the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .kernel import Event, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    The callback fires once, ``delay`` ns after the most recent
+    :meth:`start` / :meth:`restart`.  Stopping or restarting an armed timer
+    cancels the pending expiry.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm the timer.  Restarts it if already armed."""
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    # ``restart`` reads better at call sites that push a deadline forward.
+    restart = start
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """Fires ``callback`` every ``period`` ns until stopped.
+
+    The first firing happens one full period after :meth:`start` (plus the
+    optional ``phase`` offset, useful to de-synchronize identical timers on
+    different nodes).
+    """
+
+    def __init__(self, sim: Simulator, period: float, callback: Callable[[], Any]):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._sim = sim
+        self.period = period
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, phase: float = 0.0) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._event = self._sim.schedule(self.period + phase, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        # Re-arm first so the callback may call stop() to end the series.
+        self._event = self._sim.schedule(self.period, self._fire)
+        self._callback()

@@ -1,0 +1,72 @@
+"""Structured event tracing.
+
+A ``Tracer`` collects ``(time, component, event, details)`` tuples.  It is
+off by default (a no-op sink) so the hot path pays a single attribute check;
+tests and the examples turn it on to assert on causal orderings or to print
+human-readable packet timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    component: str
+    event: str
+    details: Dict[str, Any]
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time / 1000.0:12.3f} us] {self.component:<18} {self.event:<24} {kv}"
+
+
+@dataclass
+class Tracer:
+    """Trace sink.  ``enabled=False`` makes :meth:`record` a near no-op."""
+
+    sim: Simulator
+    enabled: bool = False
+    records: List[TraceRecord] = field(default_factory=list)
+    #: Optional live callback (e.g. ``print``) applied to each record.
+    sink: Optional[Callable[[TraceRecord], None]] = None
+
+    def record(self, component: str, event: str, **details: Any) -> None:
+        if not self.enabled:
+            return
+        rec = TraceRecord(self.sim.now, component, event, details)
+        self.records.append(rec)
+        if self.sink is not None:
+            self.sink(rec)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def filter(self, component: Optional[str] = None,
+               event: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given component and/or event name."""
+        out = self.records
+        if component is not None:
+            out = [r for r in out if r.component == component]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def count(self, component: Optional[str] = None,
+              event: Optional[str] = None) -> int:
+        return len(self.filter(component, event))
+
+
+class NullTracer(Tracer):
+    """A tracer that can never be enabled (default wiring)."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim=sim, enabled=False)
+
+    def record(self, component: str, event: str, **details: Any) -> None:
+        return

@@ -1,0 +1,14 @@
+"""State-machine replication on top of the consensus core."""
+
+from .machine import BankLedger, Counter, KvStore, StateMachine
+from .replicated import CommandOutcome, ReplicatedService, ServiceClient
+
+__all__ = [
+    "BankLedger",
+    "CommandOutcome",
+    "Counter",
+    "KvStore",
+    "ReplicatedService",
+    "ServiceClient",
+    "StateMachine",
+]

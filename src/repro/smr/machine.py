@@ -1,0 +1,179 @@
+"""State-machine interfaces and stock machines for replication.
+
+Consensus orders opaque byte strings; state-machine replication gives
+them meaning.  A :class:`StateMachine` consumes committed commands in log
+order and answers queries from its local state; because every machine
+applies the same commands in the same order, all copies stay identical
+(the classic SMR argument the paper's crash-tolerant use cases rely on).
+
+Stock machines:
+
+* :class:`KvStore` -- a dict with SET/GET/DEL/CAS;
+* :class:`Counter` -- named counters with ADD;
+* :class:`BankLedger` -- accounts with deposits and guarded transfers
+  (rejects overdrafts deterministically, a classic SMR determinism test).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, Optional
+
+
+class StateMachine:
+    """Deterministic command consumer."""
+
+    def apply(self, command: bytes) -> Any:
+        """Apply one committed command; returns the command's result.
+
+        Must be deterministic: equal state + equal command => equal new
+        state and result, on every machine.
+        """
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """A comparable snapshot of the full state (tests/anti-entropy)."""
+        raise NotImplementedError
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode()
+    return struct.pack("!H", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> "tuple[str, int]":
+    (length,) = struct.unpack_from("!H", data, offset)
+    start = offset + 2
+    return data[start:start + length].decode(), start + length
+
+
+class KvStore(StateMachine):
+    """Replicated dictionary."""
+
+    OP_SET = 1
+    OP_DEL = 2
+    OP_CAS = 3
+
+    def __init__(self) -> None:
+        self.data: Dict[str, bytes] = {}
+
+    # -- command encoding (used by clients) ---------------------------------------
+
+    @classmethod
+    def set_command(cls, key: str, value: bytes) -> bytes:
+        return bytes([cls.OP_SET]) + _pack_str(key) + value
+
+    @classmethod
+    def del_command(cls, key: str) -> bytes:
+        return bytes([cls.OP_DEL]) + _pack_str(key)
+
+    @classmethod
+    def cas_command(cls, key: str, expected: bytes, value: bytes) -> bytes:
+        return (bytes([cls.OP_CAS]) + _pack_str(key)
+                + struct.pack("!H", len(expected)) + expected + value)
+
+    # -- application ----------------------------------------------------------------
+
+    def apply(self, command: bytes) -> Any:
+        op = command[0]
+        if op == self.OP_SET:
+            key, end = _unpack_str(command, 1)
+            self.data[key] = command[end:]
+            return True
+        if op == self.OP_DEL:
+            key, _end = _unpack_str(command, 1)
+            return self.data.pop(key, None) is not None
+        if op == self.OP_CAS:
+            key, end = _unpack_str(command, 1)
+            (exp_len,) = struct.unpack_from("!H", command, end)
+            expected = command[end + 2:end + 2 + exp_len]
+            value = command[end + 2 + exp_len:]
+            if self.data.get(key, b"") == expected:
+                self.data[key] = value
+                return True
+            return False
+        raise ValueError(f"unknown KvStore op {op}")
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Local (non-linearizable) read."""
+        return self.data.get(key)
+
+    def snapshot(self) -> Any:
+        return dict(self.data)
+
+
+class Counter(StateMachine):
+    """Replicated named counters."""
+
+    def __init__(self) -> None:
+        self.values: Dict[str, int] = {}
+
+    @staticmethod
+    def add_command(name: str, delta: int) -> bytes:
+        return _pack_str(name) + struct.pack("!q", delta)
+
+    def apply(self, command: bytes) -> int:
+        name, end = _unpack_str(command, 0)
+        (delta,) = struct.unpack_from("!q", command, end)
+        self.values[name] = self.values.get(name, 0) + delta
+        return self.values[name]
+
+    def value(self, name: str) -> int:
+        return self.values.get(name, 0)
+
+    def snapshot(self) -> Any:
+        return dict(self.values)
+
+
+class BankLedger(StateMachine):
+    """Accounts with deterministic overdraft protection.
+
+    TRANSFER commands that would overdraw are rejected -- identically on
+    every replica, because rejection depends only on replicated state.
+    """
+
+    OP_DEPOSIT = 1
+    OP_TRANSFER = 2
+
+    def __init__(self) -> None:
+        self.accounts: Dict[str, int] = {}
+        self.rejected = 0
+
+    @classmethod
+    def deposit_command(cls, account: str, amount: int) -> bytes:
+        return bytes([cls.OP_DEPOSIT]) + _pack_str(account) + struct.pack("!q", amount)
+
+    @classmethod
+    def transfer_command(cls, src: str, dst: str, amount: int) -> bytes:
+        return (bytes([cls.OP_TRANSFER]) + _pack_str(src) + _pack_str(dst)
+                + struct.pack("!q", amount))
+
+    def apply(self, command: bytes) -> bool:
+        op = command[0]
+        if op == self.OP_DEPOSIT:
+            account, end = _unpack_str(command, 1)
+            (amount,) = struct.unpack_from("!q", command, end)
+            self.accounts[account] = self.accounts.get(account, 0) + amount
+            return True
+        if op == self.OP_TRANSFER:
+            src, end = _unpack_str(command, 1)
+            dst, end = _unpack_str(command, end)
+            (amount,) = struct.unpack_from("!q", command, end)
+            if self.accounts.get(src, 0) < amount or amount < 0:
+                self.rejected += 1
+                return False
+            self.accounts[src] -= amount
+            self.accounts[dst] = self.accounts.get(dst, 0) + amount
+            return True
+        raise ValueError(f"unknown BankLedger op {op}")
+
+    def balance(self, account: str) -> int:
+        return self.accounts.get(account, 0)
+
+    @property
+    def total_money(self) -> int:
+        """Conservation invariant: transfers never create or destroy money."""
+        return sum(self.accounts.values())
+
+    def snapshot(self) -> Any:
+        return dict(self.accounts)

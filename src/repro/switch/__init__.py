@@ -1,0 +1,48 @@
+"""Programmable-switch substrate: pipeline, tables, registers, multicast."""
+
+from .alu import (
+    compare_eq_constant,
+    compare_lt_via_underflow,
+    identity_hash,
+    saturating_increment,
+    sub_with_underflow,
+    tofino_min,
+)
+from .forwarding import L3ForwardProgram
+from .multicast import MulticastCopy, MulticastEngine
+from .pipeline import IngressVerdict, Switch, SwitchProgram, VerdictKind
+from .registers import Register, RegisterAccessError, RegisterAction
+from .resources import (
+    PipelineLayout,
+    ResourceError,
+    TOFINO1_STAGES,
+    p4ce_layout,
+)
+from .tables import ActionEntry, ExactMatchTable, LpmTable, TableFullError
+
+__all__ = [
+    "ActionEntry",
+    "ExactMatchTable",
+    "IngressVerdict",
+    "L3ForwardProgram",
+    "LpmTable",
+    "MulticastCopy",
+    "MulticastEngine",
+    "PipelineLayout",
+    "Register",
+    "RegisterAccessError",
+    "RegisterAction",
+    "ResourceError",
+    "Switch",
+    "TOFINO1_STAGES",
+    "SwitchProgram",
+    "TableFullError",
+    "VerdictKind",
+    "compare_eq_constant",
+    "compare_lt_via_underflow",
+    "identity_hash",
+    "p4ce_layout",
+    "saturating_increment",
+    "sub_with_underflow",
+    "tofino_min",
+]

@@ -1,0 +1,71 @@
+"""Tofino ALU constraint helpers.
+
+On Tofino, "it is not possible, in hardware, to compare two variables (the
+ASIC can only compare a variable with a constant)" (section IV-D).  The
+paper's workaround for computing the minimum credit count is:
+
+    if (identity_hash((a - b) underflows?))  min = a  else  min = b
+
+i.e. subtract, detect the underflow, and launder the underflow bit through
+an identity hash so that it becomes usable in a conditional.  This module
+provides exactly those primitives, and the P4CE data-plane program is
+written against them -- a Python ``a < b`` between two packet variables
+would be cheating the hardware model, and the unit tests enforce that the
+emulated ``tofino_min`` agrees with real ``min`` across the whole domain.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+WIDTH_32 = 32
+MASK_32 = (1 << WIDTH_32) - 1
+
+
+def sub_with_underflow(a: int, b: int, width: int = WIDTH_32) -> Tuple[int, int]:
+    """Unsigned subtract ``a - b`` with wraparound; returns (result, borrow).
+
+    ``borrow`` is 1 when the subtraction underflowed (a < b as unsigned
+    values), mirroring the ALU's borrow-out wire.
+    """
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    raw = a - b
+    borrow = 1 if raw < 0 else 0
+    return raw & mask, borrow
+
+
+def identity_hash(value: int) -> int:
+    """The identity-hash module: returns its input unchanged.
+
+    Physically this routes a signal (here: the borrow bit) through the
+    hash unit because "no cabling exists between the underflow information
+    of the ALU and any conditionally programmable hardware".
+    """
+    return value
+
+
+def compare_lt_via_underflow(a: int, b: int, width: int = WIDTH_32) -> bool:
+    """``a < b`` computed the only way the ASIC can: borrow-out + hash."""
+    _result, borrow = sub_with_underflow(a, b, width)
+    return bool(identity_hash(borrow))
+
+
+def tofino_min(a: int, b: int, width: int = WIDTH_32) -> int:
+    """min(a, b) via the paper's underflow/identity-hash construction."""
+    if compare_lt_via_underflow(a, b, width):
+        return a & ((1 << width) - 1)
+    return b & ((1 << width) - 1)
+
+
+def compare_eq_constant(value: int, constant: int) -> bool:
+    """Variable-vs-constant compare: the only compare Tofino supports
+    directly in match-action conditionals."""
+    return value == constant
+
+
+def saturating_increment(value: int, width: int = WIDTH_32) -> int:
+    """Increment with saturation at the register width."""
+    mask = (1 << width) - 1
+    return value if value >= mask else value + 1

@@ -1,0 +1,31 @@
+"""Baseline L3 forwarding program.
+
+This is what the switch runs when it is *not* accelerating consensus: a
+plain IPv4 host router.  Mu's experiments run entirely on this program;
+P4CE embeds the same forwarding as its miss path ("if not [addressed to
+the switch], ... it is transmitted directly to its destination").
+"""
+
+from __future__ import annotations
+
+from ..net import MacAddress, Packet
+from .pipeline import IngressVerdict, SwitchProgram
+
+
+class L3ForwardProgram(SwitchProgram):
+    """Forward by destination IP using the switch's host table."""
+
+    name = "l3_forward"
+
+    def on_ingress(self, in_port: int, packet: Packet) -> IngressVerdict:
+        if packet.ipv4 is None:
+            return IngressVerdict.drop()
+        entry = self.switch.l3_table.lookup(packet.ipv4.dst.value)
+        if entry.action != "forward":
+            return IngressVerdict.drop()
+        packet.eth.src = self.switch.mac
+        packet.eth.dst = entry.params["dst_mac"]
+        return IngressVerdict.unicast(int(entry.params["port"]))
+
+    def on_egress(self, out_port: int, replication_id: int, packet: Packet) -> bool:
+        return True

@@ -1,0 +1,65 @@
+"""The packet replication engine (PRE).
+
+"In between the ingress and egress sits a buffer and the replication
+engine.  The latter enables flexible duplication of packets across
+multiple physical output ports.  This design forces routing and
+replication decisions to be taken in the ingress.  Conversely, operating
+on packet replicas must be done in the egress." (section II-B)
+
+A multicast group maps a group id to a list of copies, each with an egress
+port and a *replication id* (rid).  P4CE "configures the multicast engine
+so that the identifier consists in the endpoint identifier of the
+destination replica" (section IV-B) -- the egress program keys its
+connection-structure lookup on the rid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class MulticastCopy:
+    """One replica of a multicast packet."""
+
+    __slots__ = ("egress_port", "replication_id")
+
+    def __init__(self, egress_port: int, replication_id: int):
+        self.egress_port = egress_port
+        self.replication_id = replication_id
+
+    def __repr__(self) -> str:
+        return f"Copy(port={self.egress_port}, rid={self.replication_id})"
+
+
+class MulticastEngine:
+    """Replication-engine configuration: group id -> copies."""
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self._groups: Dict[int, List[MulticastCopy]] = {}
+
+    def create_group(self, group_id: int, copies: List[MulticastCopy]) -> None:
+        if group_id not in self._groups and len(self._groups) >= self.capacity:
+            raise RuntimeError("multicast engine is full")
+        if not copies:
+            raise ValueError("a multicast group needs at least one copy")
+        self._groups[group_id] = list(copies)
+
+    def update_group(self, group_id: int, copies: List[MulticastCopy]) -> None:
+        if group_id not in self._groups:
+            raise KeyError(f"unknown multicast group {group_id}")
+        if not copies:
+            raise ValueError("a multicast group needs at least one copy")
+        self._groups[group_id] = list(copies)
+
+    def delete_group(self, group_id: int) -> None:
+        self._groups.pop(group_id, None)
+
+    def lookup(self, group_id: int) -> Optional[List[MulticastCopy]]:
+        return self._groups.get(group_id)
+
+    def __contains__(self, group_id: int) -> bool:
+        return group_id in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)

@@ -1,0 +1,104 @@
+"""Stateful switch registers with RegisterAction semantics.
+
+Tofino registers are SRAM arrays paired with a small stateful ALU: each
+packet may execute *one* read-modify-write program ("RegisterAction") on
+one index of a given register as it flows through the stage that owns it.
+The control plane, by contrast, can read and write registers freely
+through the driver (BfRt), but slowly.
+
+``Register`` models the array (bounded width, bounded size);
+``RegisterAction`` models one RMW program.  A per-packet guard enforces
+the one-access-per-register-per-pass hardware rule: the P4CE program
+begins each packet with :meth:`Register.begin_packet` via the pipeline,
+and a second access to the same register for the same packet raises
+``RegisterAccessError`` -- turning an un-synthesizable P4 program into a
+failing test instead of silently wrong results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class RegisterAccessError(RuntimeError):
+    """A packet tried to access the same register twice in one pass."""
+
+
+class Register:
+    """One register array in a pipeline stage."""
+
+    def __init__(self, name: str, size: int, width: int = 32, initial: int = 0):
+        if size <= 0:
+            raise ValueError("register size must be positive")
+        if not 1 <= width <= 64:
+            raise ValueError("register width must be 1..64 bits")
+        self.name = name
+        self.size = size
+        self.width = width
+        self.mask = (1 << width) - 1
+        self._cells: List[int] = [initial & self.mask] * size
+        self._current_packet: Optional[int] = None
+        self._accessed_this_packet = False
+
+    # -- data-plane access (guarded) -------------------------------------------
+
+    def begin_packet(self, packet_token: int) -> None:
+        """Mark the start of a new packet's traversal of this stage."""
+        self._current_packet = packet_token
+        self._accessed_this_packet = False
+
+    def _guard(self) -> None:
+        if self._current_packet is not None and self._accessed_this_packet:
+            raise RegisterAccessError(
+                f"register {self.name!r}: second access in one packet pass "
+                "(Tofino allows a single RegisterAction execution per packet)")
+        self._accessed_this_packet = True
+
+    # -- control-plane access (unguarded, as through BfRt) ------------------------
+
+    def cp_read(self, index: int) -> int:
+        return self._cells[index]
+
+    def cp_write(self, index: int, value: int) -> None:
+        self._cells[index] = value & self.mask
+
+    def cp_fill(self, value: int) -> None:
+        fill = value & self.mask
+        for i in range(self.size):
+            self._cells[i] = fill
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"Register({self.name!r}, size={self.size}, width={self.width})"
+
+
+class RegisterAction:
+    """One stateful ALU program bound to a register.
+
+    ``program(current_value, argument) -> (new_value, output)`` -- the two
+    outputs mirror the hardware's "update memory cell" and "result bus"
+    paths.  The program body must respect ALU restrictions itself (use
+    :mod:`repro.switch.alu` helpers instead of Python comparisons between
+    two variables).
+    """
+
+    def __init__(self, register: Register,
+                 program: Callable[[int, Any], Tuple[int, int]],
+                 name: str = ""):
+        self.register = register
+        self.program = program
+        self.name = name or getattr(program, "__name__", "anon")
+
+    def execute(self, index: int, argument: Any = None) -> int:
+        """Run the RMW program on one cell; returns the program's output."""
+        if not 0 <= index < self.register.size:
+            raise IndexError(
+                f"register {self.register.name!r}: index {index} out of range "
+                f"0..{self.register.size - 1}")
+        self.register._guard()
+        current = self.register._cells[index]
+        new_value, output = self.program(current, argument)
+        self.register._cells[index] = new_value & self.register.mask
+        return output

@@ -1,0 +1,140 @@
+"""Tofino pipeline resource model: stages, and what fits in them.
+
+"Every computation that a developer wants to program in P4 could be
+implemented in dozens of possible ways, but most of them cannot be
+deployed in hardware." (section IV-D)  The binding constraints on a
+Tofino-1 pipeline are, to first order:
+
+* **12 match-action stages** per gress (ingress and egress share the
+  physical stages on Tofino 1's shared-pipeline profile; we model the
+  common split compile: 12 logical stages per gress);
+* each stage fits a limited number of tables and **at most one register
+  access per packet per register**, and a register lives in exactly one
+  stage;
+* values computed in stage N are usable only in stages > N (no loops).
+
+``PipelineLayout`` lets a program declare which stage each table and
+register occupies plus the dependencies between them; ``validate``
+rejects layouts that need more stages than the ASIC has or that read a
+result before it is produced.  ``p4ce_layout`` is the declared layout of
+the P4CE program, asserted in the test suite -- the Python model refuses
+configurations a real Tofino could not run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Match-action stages per gress on a Tofino-1 profile.
+TOFINO1_STAGES = 12
+
+
+class ResourceError(ValueError):
+    """The declared layout cannot be placed on the ASIC."""
+
+
+class PlacedObject:
+    """A table or register pinned to one pipeline stage."""
+
+    __slots__ = ("name", "kind", "gress", "stage", "after")
+
+    def __init__(self, name: str, kind: str, gress: str, stage: int,
+                 after: Tuple[str, ...] = ()):
+        if kind not in ("table", "register", "hash", "alu"):
+            raise ResourceError(f"unknown object kind {kind!r}")
+        if gress not in ("ingress", "egress"):
+            raise ResourceError(f"unknown gress {gress!r}")
+        self.name = name
+        self.kind = kind
+        self.gress = gress
+        self.stage = stage
+        #: Names of objects whose results this one consumes.
+        self.after = after
+
+
+class PipelineLayout:
+    """Declared placement of a P4 program's stateful objects."""
+
+    def __init__(self, stages: int = TOFINO1_STAGES):
+        self.stages = stages
+        self.objects: Dict[str, PlacedObject] = {}
+
+    def place(self, name: str, kind: str, gress: str, stage: int,
+              after: Tuple[str, ...] = ()) -> "PipelineLayout":
+        if name in self.objects:
+            raise ResourceError(f"{name!r} placed twice")
+        self.objects[name] = PlacedObject(name, kind, gress, stage, after)
+        return self
+
+    def validate(self) -> None:
+        """Raise :class:`ResourceError` unless the layout is placeable."""
+        for obj in self.objects.values():
+            if not 0 <= obj.stage < self.stages:
+                raise ResourceError(
+                    f"{obj.name!r} in stage {obj.stage}: the ASIC has "
+                    f"stages 0..{self.stages - 1}")
+            for dep_name in obj.after:
+                dep = self.objects.get(dep_name)
+                if dep is None:
+                    raise ResourceError(
+                        f"{obj.name!r} depends on unplaced {dep_name!r}")
+                if dep.gress != obj.gress:
+                    continue  # cross-gress handoff rides packet metadata
+                if dep.stage >= obj.stage:
+                    raise ResourceError(
+                        f"{obj.name!r} (stage {obj.stage}) consumes "
+                        f"{dep_name!r} (stage {dep.stage}): results flow "
+                        "strictly forward through the pipeline")
+
+    def stage_occupancy(self, gress: str) -> List[int]:
+        """Objects per stage (diagnostics)."""
+        occupancy = [0] * self.stages
+        for obj in self.objects.values():
+            if obj.gress == gress:
+                occupancy[obj.stage] += 1
+        return occupancy
+
+    @property
+    def stages_used(self) -> int:
+        if not self.objects:
+            return 0
+        return 1 + max(obj.stage for obj in self.objects.values())
+
+
+def p4ce_layout(max_replicas: int = 8) -> PipelineLayout:
+    """The P4CE program's declared placement.
+
+    Mirrors the structure of sections IV-B/IV-C/IV-D:
+
+    * ingress stage 0: destination-IP / CM classification (L3 table);
+    * ingress stage 1: BCast and Aggr QP lookup;
+    * ingress stages 2..2+k: the per-replica MinCredit registers "arranged
+      across the whole length of our pipeline" with the running-minimum
+      folds behind them;
+    * next ingress stage: NumRecv (reset on scatter / count on gather),
+      after the credit minimum because the forwarded ACK needs both;
+    * final ingress stage: the forward/drop decision;
+    * egress stage 0: the connection-structure rewrite table.
+    """
+    layout = PipelineLayout()
+    layout.place("ipv4_host", "table", "ingress", 0)
+    layout.place("bcast_qp", "table", "ingress", 1)
+    layout.place("aggr_qp", "table", "ingress", 1)
+    # One credit register per replica slot, one stage each, each fold
+    # consuming the previous stage's running minimum.
+    previous: Optional[str] = None
+    stage = 2
+    for slot in range(max_replicas):
+        name = f"MinCredit[{slot}]"
+        deps = ("aggr_qp",) if previous is None else ("aggr_qp", previous)
+        layout.place(name, "register", "ingress", stage, deps)
+        previous = name
+        stage += 1
+    layout.place("min_fold_hash", "hash", "ingress", stage, (previous,))
+    layout.place("NumRecv", "register", "ingress", stage,
+                 ("bcast_qp", "aggr_qp"))
+    layout.place("ack_decision", "alu", "ingress", stage + 1,
+                 ("NumRecv", "min_fold_hash"))
+    layout.place("egress_conn", "table", "egress", 0)
+    layout.place("rewrite_alu", "alu", "egress", 1, ("egress_conn",))
+    return layout

@@ -1,0 +1,159 @@
+"""Match-action tables.
+
+A table is "the equivalent of a C switch/case, implemented in hardware"
+(section II-B): the data plane presents a key built from header fields,
+the table returns an action name plus action parameters, and the program
+executes that action.  Entries are installed exclusively by the control
+plane (table capacity is finite, like TCAM/SRAM budgets on the ASIC).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class ActionEntry:
+    """The action half of a table entry."""
+
+    __slots__ = ("action", "params")
+
+    def __init__(self, action: str, **params: Any):
+        self.action = action
+        self.params = params
+
+    def __repr__(self) -> str:
+        kv = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.action}({kv})"
+
+
+class TableFullError(RuntimeError):
+    """The table has no free entries left."""
+
+
+class ExactMatchTable:
+    """Exact-match table with a default action.
+
+    Keys are tuples of integers (header fields); the program and the
+    control plane must agree on the field order, captured in
+    ``key_fields`` for documentation and error messages.
+    """
+
+    def __init__(self, name: str, key_fields: Tuple[str, ...], capacity: int = 4096):
+        self.name = name
+        self.key_fields = key_fields
+        self.capacity = capacity
+        self._entries: Dict[Tuple[int, ...], ActionEntry] = {}
+        self.default = ActionEntry("NoAction")
+        self.hits = 0
+        self.misses = 0
+
+    # -- data plane ---------------------------------------------------------------
+
+    def lookup(self, *key: int) -> ActionEntry:
+        if len(key) != len(self.key_fields):
+            raise ValueError(
+                f"table {self.name!r}: key arity {len(key)} != {len(self.key_fields)} "
+                f"(fields: {self.key_fields})")
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return self.default
+        self.hits += 1
+        return entry
+
+    # -- control plane --------------------------------------------------------------
+
+    def add_entry(self, key: Tuple[int, ...], action: str, **params: Any) -> None:
+        if len(key) != len(self.key_fields):
+            raise ValueError(f"table {self.name!r}: bad key arity")
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            raise TableFullError(f"table {self.name!r} is full ({self.capacity})")
+        self._entries[key] = ActionEntry(action, **params)
+
+    def del_entry(self, key: Tuple[int, ...]) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def set_default(self, action: str, **params: Any) -> None:
+        self.default = ActionEntry(action, **params)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[int, ...], ActionEntry]]:
+        return iter(self._entries.items())
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self._entries)}/{self.capacity} entries)"
+
+
+class LpmTable:
+    """Longest-prefix-match table over one 32-bit key (IPv4 routing).
+
+    Stores (value, prefix_length) entries; ``lookup`` returns the action
+    of the longest prefix covering the key, or the default.  Backed by a
+    per-length exact map, which is how software models of TCAM behave;
+    capacity bounds total entries like the hardware's TCAM budget.
+    """
+
+    WIDTH = 32
+
+    def __init__(self, name: str, capacity: int = 1024):
+        self.name = name
+        self.capacity = capacity
+        self._by_length: Dict[int, Dict[int, ActionEntry]] = {}
+        self._size = 0
+        self.default = ActionEntry("NoAction")
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _mask(prefix_len: int) -> int:
+        if prefix_len == 0:
+            return 0
+        return ((1 << prefix_len) - 1) << (LpmTable.WIDTH - prefix_len)
+
+    # -- data plane ---------------------------------------------------------------
+
+    def lookup(self, key: int) -> ActionEntry:
+        for prefix_len in sorted(self._by_length, reverse=True):
+            bucket = self._by_length[prefix_len]
+            entry = bucket.get(key & self._mask(prefix_len))
+            if entry is not None:
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return self.default
+
+    # -- control plane --------------------------------------------------------------
+
+    def add_route(self, value: int, prefix_len: int, action: str,
+                  **params: Any) -> None:
+        if not 0 <= prefix_len <= self.WIDTH:
+            raise ValueError(f"prefix length {prefix_len} out of range")
+        bucket = self._by_length.setdefault(prefix_len, {})
+        masked = value & self._mask(prefix_len)
+        if masked not in bucket and self._size >= self.capacity:
+            raise TableFullError(f"LPM table {self.name!r} is full")
+        if masked not in bucket:
+            self._size += 1
+        bucket[masked] = ActionEntry(action, **params)
+
+    def del_route(self, value: int, prefix_len: int) -> bool:
+        bucket = self._by_length.get(prefix_len, {})
+        removed = bucket.pop(value & self._mask(prefix_len), None)
+        if removed is not None:
+            self._size -= 1
+            return True
+        return False
+
+    def set_default(self, action: str, **params: Any) -> None:
+        self.default = ActionEntry(action, **params)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"LpmTable({self.name!r}, {self._size}/{self.capacity} routes)"

@@ -1,0 +1,29 @@
+"""Workload generators, measurement, and paper-experiment drivers."""
+
+from .experiments import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    build_cluster,
+    measure_burst_latency,
+    measure_failover,
+    measure_goodput,
+    measure_latency_at_load,
+)
+from .generators import UniformGenerator, YcsbWorkload, ZipfianGenerator
+from .metrics import LatencyRecorder, ThroughputWindow, percentile
+
+__all__ = [
+    "ClosedLoopDriver",
+    "LatencyRecorder",
+    "OpenLoopDriver",
+    "ThroughputWindow",
+    "UniformGenerator",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "build_cluster",
+    "measure_burst_latency",
+    "measure_failover",
+    "measure_goodput",
+    "measure_latency_at_load",
+    "percentile",
+]

@@ -1,0 +1,117 @@
+"""Workload generators: key distributions and YCSB-style operation mixes.
+
+The paper's motivation is crash-tolerant datacenter services; these
+generators produce the kinds of command streams such services see, so
+the examples and application-level benchmarks exercise the consensus
+substrate with realistic skew instead of uniform toy traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import SeededRng
+from ..smr.machine import KvStore
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in [0, n) via Gray/Jain's method.
+
+    The classic YCSB key-popularity model: a handful of hot keys take
+    most of the traffic.  ``theta`` near 0 is uniform; 0.99 is YCSB's
+    default (heavily skewed).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99,
+                 rng: Optional[SeededRng] = None):
+        if n <= 0:
+            raise ValueError("need a positive key-space size")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self.n = n
+        self.theta = theta
+        self._rng = rng or SeededRng(0)
+        self._zetan = sum(1.0 / (i + 1) ** theta for i in range(n))
+        self._zeta2 = sum(1.0 / (i + 1) ** theta for i in range(min(2, n)))
+        self._alpha = 1.0 / (1.0 - theta) if theta else 1.0
+        if theta and n > 1:
+            self._eta = ((1.0 - (2.0 / n) ** (1.0 - theta))
+                         / (1.0 - self._zeta2 / self._zetan))
+        else:
+            self._eta = 0.0
+
+    def next(self) -> int:
+        if self.n == 1:
+            return 0
+        u = self._rng.uniform(0.0, 1.0)
+        if not self.theta:
+            return min(int(u * self.n), self.n - 1)  # uniform degenerate case
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        value = int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(value, self.n - 1)
+
+    def sample(self, count: int) -> List[int]:
+        return [self.next() for _ in range(count)]
+
+
+class UniformGenerator:
+    """Uniform integers in [0, n)."""
+
+    def __init__(self, n: int, rng: Optional[SeededRng] = None):
+        if n <= 0:
+            raise ValueError("need a positive key-space size")
+        self.n = n
+        self._rng = rng or SeededRng(0)
+
+    def next(self) -> int:
+        return self._rng.randint(0, self.n - 1)
+
+
+class YcsbWorkload:
+    """A YCSB-style stream of KV commands.
+
+    Standard mixes (read fractions refer to *consensus-free local reads*
+    at the generator level; update/insert become replicated commands):
+
+    * A: 50% update / 50% read
+    * B: 5% update / 95% read
+    * C: 100% read
+    * (plus a write-heavy "W": 100% update, for replication stress)
+    """
+
+    MIXES: Dict[str, float] = {"A": 0.5, "B": 0.05, "C": 0.0, "W": 1.0}
+
+    def __init__(self, mix: str = "A", keys: int = 1000, value_size: int = 100,
+                 theta: float = 0.99, rng: Optional[SeededRng] = None):
+        if mix not in self.MIXES:
+            raise ValueError(f"unknown YCSB mix {mix!r}")
+        self.mix = mix
+        self.update_fraction = self.MIXES[mix]
+        self.value_size = value_size
+        self._rng = rng or SeededRng(0)
+        self._keys = ZipfianGenerator(keys, theta, self._rng.fork("keys"))
+        self.reads = 0
+        self.updates = 0
+
+    def key(self, index: int) -> str:
+        return f"user{index:08d}"
+
+    def next_operation(self) -> Tuple[str, str, bytes]:
+        """Returns (kind, key, command): kind is "read" or "update";
+        command is empty for reads, a replicable KV command otherwise."""
+        key = self.key(self._keys.next())
+        if self._rng.chance(self.update_fraction):
+            self.updates += 1
+            value = self._rng.bytes(self.value_size)
+            return "update", key, KvStore.set_command(key, value)
+        self.reads += 1
+        return "read", key, b""
+
+    def load_phase(self, count: int) -> List[bytes]:
+        """Initial dataset: one SET per key index [0, count)."""
+        return [KvStore.set_command(self.key(i), self._rng.bytes(self.value_size))
+                for i in range(count)]

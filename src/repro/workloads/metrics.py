@@ -1,0 +1,84 @@
+"""Measurement utilities: latency/throughput accounting for experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of pre-sorted data; p in [0, 100]."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+class LatencyRecorder:
+    """Collects commit latencies (ns) and summarizes them."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, latency_ns: float) -> None:
+        self.samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile_ns(self, p: float) -> float:
+        return percentile(sorted(self.samples), p)
+
+    def summary(self) -> Dict[str, float]:
+        data = sorted(self.samples)
+        return {
+            "count": float(len(data)),
+            "mean_us": self.mean_ns / 1e3,
+            "p50_us": percentile(data, 50) / 1e3,
+            "p99_us": percentile(data, 99) / 1e3,
+            "max_us": (data[-1] / 1e3) if data else 0.0,
+        }
+
+
+class ThroughputWindow:
+    """Commit counting over a measurement window of simulated time."""
+
+    def __init__(self) -> None:
+        self.start_ns = 0.0
+        self.end_ns = 0.0
+        self.commits = 0
+        self.payload_bytes = 0
+
+    def open(self, now_ns: float) -> None:
+        self.start_ns = now_ns
+        self.commits = 0
+        self.payload_bytes = 0
+
+    def close(self, now_ns: float) -> None:
+        self.end_ns = now_ns
+
+    def record(self, payload_len: int) -> None:
+        self.commits += 1
+        self.payload_bytes += payload_len
+
+    @property
+    def duration_s(self) -> float:
+        return max(1e-12, (self.end_ns - self.start_ns) / 1e9)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.commits / self.duration_s
+
+    @property
+    def goodput_gbytes_per_sec(self) -> float:
+        """Useful payload bytes per second, in GB/s (paper Fig. 5 units)."""
+        return self.payload_bytes / self.duration_s / 1e9

@@ -1,0 +1,73 @@
+"""Shared fixtures: small rigs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import AddressAllocator, connect
+from repro.rdma import Access, Host, ListenerReply
+from repro.sim import Simulator
+from repro.switch import L3ForwardProgram, Switch
+
+
+class TwoHostRig:
+    """Two hosts cabled back-to-back (no switch)."""
+
+    def __init__(self):
+        self.sim = Simulator()
+        alloc = AddressAllocator()
+        m1, i1 = alloc.next_host()
+        m2, i2 = alloc.next_host()
+        self.client = Host(self.sim, "client", 1, m1, i1)
+        self.server = Host(self.sim, "server", 2, m2, i2)
+        self.link = connect(self.sim, self.client.nic.port, self.server.nic.port)
+        self.client.nic.gateway_mac = m2
+        self.server.nic.gateway_mac = m1
+
+    def connected_qp_pair(self, service_id=0x10, access=Access.REMOTE_WRITE
+                          | Access.REMOTE_READ, region_len=1 << 20):
+        """CM-handshake a QP pair; returns (client_qp, client_cq, server_qp,
+        server_cq, server_region)."""
+        region = self.server.reg_mr(region_len, access, "target")
+        server_cq = self.server.create_cq()
+        server_qp = self.server.create_qp(server_cq)
+        self.server.cm.listen(
+            service_id, lambda info: ListenerReply(qp=server_qp))
+        client_cq = self.client.create_cq()
+        client_qp = self.client.create_qp(client_cq)
+        result = {}
+        self.client.cm.connect(self.server.ip, service_id, client_qp, b"",
+                               lambda qp, pd, err: result.update(err=err))
+        self.sim.run(until=self.sim.now + 1_000_000)
+        assert result.get("err") is None, result
+        return client_qp, client_cq, server_qp, server_cq, region
+
+
+class StarRig:
+    """Hosts around an L3-forwarding switch."""
+
+    def __init__(self, num_hosts=3):
+        self.sim = Simulator()
+        alloc = AddressAllocator()
+        smac, sip = alloc.switch_address()
+        self.switch = Switch(self.sim, "sw", smac, sip)
+        self.switch.load_program(L3ForwardProgram())
+        self.hosts = []
+        for i in range(num_hosts):
+            mac, ip = alloc.next_host()
+            host = Host(self.sim, f"h{i}", i, mac, ip)
+            port = self.switch.free_port()
+            connect(self.sim, host.nic.port, port)
+            host.nic.gateway_mac = smac
+            self.switch.add_host_route(ip, port.index, mac)
+            self.hosts.append(host)
+
+
+@pytest.fixture
+def two_hosts():
+    return TwoHostRig()
+
+
+@pytest.fixture
+def star3():
+    return StarRig(3)

@@ -1,0 +1,129 @@
+"""Focused unit tests for Member mechanics: batching carriers, commit
+ordering, proposal queueing, segment merging."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, Role
+from repro.consensus.member import _merge_segments
+from repro.consensus.log import Segment
+
+MS = 1_000_000
+
+
+def make(**kw):
+    kw.setdefault("seed", 41)
+    kw.setdefault("protocol", "p4ce")
+    kw.setdefault("num_replicas", 2)
+    cluster = Cluster.build(ClusterConfig(**kw))
+    cluster.await_ready()
+    return cluster
+
+
+class TestMergeSegments:
+    def test_adjacent_segments_coalesce(self):
+        segments = [Segment(0, b"aaaa", 0), Segment(4, b"bbbb", 4)]
+        merged = _merge_segments(segments)
+        assert len(merged) == 1
+        assert merged[0].data == b"aaaabbbb"
+        assert merged[0].physical_offset == 0
+
+    def test_gap_keeps_segments_apart(self):
+        segments = [Segment(0, b"aaaa", 0), Segment(8, b"bbbb", 8)]
+        merged = _merge_segments(segments)
+        assert len(merged) == 2
+
+    def test_wrap_boundary_not_merged(self):
+        # A wrap: high physical offset followed by physical 0.
+        segments = [Segment(1000, b"m" * 16, 1000), Segment(0, b"e" * 24, 1016)]
+        merged = _merge_segments(segments)
+        assert len(merged) == 2
+        assert merged[1].physical_offset == 0
+
+    def test_empty(self):
+        assert _merge_segments([]) == []
+
+
+class TestProposalQueueing:
+    def test_proposals_during_takeover_are_queued_then_served(self):
+        cluster = make(protocol="mu")
+        cluster.kill_app(0)
+        candidate = cluster.members[1]
+        # Wait until node 1 starts its takeover but is not leader yet.
+        cluster.sim.run_until(lambda: candidate.role is Role.CANDIDATE,
+                              timeout=100 * MS)
+        done = []
+        candidate.propose(b"queued-during-takeover", done.append)
+        assert candidate.role is not Role.LEADER
+        cluster.sim.run_until(lambda: bool(done), timeout=200 * MS)
+        assert done and done[0].committed
+
+    def test_stopped_member_rejects_proposals(self):
+        from repro import NotLeaderError
+        cluster = make(protocol="mu")
+        cluster.kill_app(2)
+        with pytest.raises(NotLeaderError):
+            cluster.members[2].propose(b"nope")
+
+
+class TestCommitOrdering:
+    def test_interleaved_batched_and_single_commits_stay_ordered(self):
+        cluster = make(batching=True)
+        order = []
+        for i in range(120):
+            cluster.propose(i.to_bytes(2, "big"),
+                            lambda e: order.append(int.from_bytes(e.payload, "big")))
+        cluster.run_for(5 * MS)
+        assert order == list(range(120))
+
+    def test_batch_children_inherit_commit_metadata(self):
+        cluster = make(batching=True)
+        done = []
+        for i in range(50):
+            cluster.propose(bytes([i]), done.append)
+        cluster.run_for(5 * MS)
+        assert len(done) == 50
+        for entry in done:
+            assert entry.committed
+            assert entry.committed_at >= entry.submitted_at
+            assert entry.latency_ns > 0
+
+    def test_offsets_strictly_increase(self):
+        cluster = make()
+        done = []
+        for i in range(30):
+            cluster.propose(bytes([i]) * (1 + i % 5), done.append)
+        cluster.run_for(5 * MS)
+        offsets = [e.offset for e in done]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == len(offsets)
+
+
+class TestEngineBookkeeping:
+    def test_commit_offset_tracks_log(self):
+        cluster = make()
+        done = []
+        for i in range(10):
+            cluster.propose(b"x" * 32, done.append)
+        cluster.run_for(5 * MS)
+        leader = cluster.leader
+        assert leader.commit_offset == leader.log.next_offset
+
+    def test_member_stats_mean_latency(self):
+        cluster = make()
+        for i in range(10):
+            cluster.propose(b"x")
+        cluster.run_for(5 * MS)
+        stats = cluster.leader.stats
+        assert stats.commit_count == 10
+        assert stats.mean_latency_ns > 0
+
+    def test_descriptor_matches_applied_on_replicas(self):
+        cluster = make()
+        for i in range(10):
+            cluster.propose(b"y" * 24)
+        cluster.run_for(5 * MS)
+        leader_end = cluster.leader.log.next_offset
+        for member in cluster.members.values():
+            if member.node_id == 0:
+                continue
+            assert member.log.next_offset == leader_end

@@ -1,0 +1,109 @@
+"""Tests for the fault-injection package and robustness under impairments."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.faults import FaultSchedule
+from repro.smr import Counter, ReplicatedService
+
+MS = 1_000_000
+
+
+def make(protocol="p4ce", num_replicas=2, **kw):
+    kw.setdefault("seed", 23)
+    cluster = Cluster.build(ClusterConfig(num_replicas=num_replicas,
+                                          protocol=protocol, **kw))
+    cluster.await_ready()
+    return cluster
+
+
+class TestSchedule:
+    def test_faults_fire_at_scripted_times(self):
+        cluster = make()
+        schedule = FaultSchedule(cluster)
+        schedule.at_ms(2).kill_app(2)
+        schedule.at_ms(5).crash_switch()
+        schedule.arm()
+        start = cluster.sim.now
+        cluster.run_for(10 * MS)
+        kinds = [(r.kind, round((r.time_ns - start) / MS))
+                 for r in schedule.journal]
+        assert kinds == [("kill_app", 2), ("crash_switch", 5)]
+        assert not cluster.switch_alive()
+        assert cluster.members[2].role.value == "stopped"
+
+    def test_cannot_add_after_arm(self):
+        cluster = make()
+        schedule = FaultSchedule(cluster)
+        schedule.arm()
+        with pytest.raises(RuntimeError):
+            schedule.at_ms(1).kill_app(1)
+
+
+class TestLinkImpairments:
+    def test_lossy_leader_link_still_commits(self):
+        cluster = make("mu")
+        schedule = FaultSchedule(cluster)
+        schedule.injector.set_loss(0, 0.05)
+        done = []
+        for i in range(30):
+            cluster.propose(bytes([i]) * 16, done.append)
+        cluster.run_for(80 * MS)
+        committed = [e for e in done if e.committed]
+        assert len(committed) == 30
+
+    def test_partitioned_replica_detected_dead(self):
+        cluster = make("mu")
+        schedule = FaultSchedule(cluster)
+        schedule.injector.partition_host(2)
+        cluster.run_for(5 * MS)
+        assert not cluster.members[0].hb.is_alive(2)
+        # Still committing with the remaining majority.
+        done = []
+        cluster.propose(b"x", done.append)
+        cluster.run_for(60 * MS)
+        assert done and done[0].committed
+
+    def test_healed_replica_becomes_alive_again(self):
+        cluster = make("mu")
+        injector = FaultSchedule(cluster).injector
+        injector.partition_host(2)
+        cluster.run_for(5 * MS)
+        assert not cluster.members[0].hb.is_alive(2)
+        injector.heal_host(2)
+        cluster.run_for(5 * MS)
+        assert cluster.members[0].hb.is_alive(2)
+
+
+class TestEndToEndChaos:
+    @pytest.mark.parametrize("protocol", ["mu", "p4ce"])
+    def test_service_survives_scripted_mayhem(self, protocol):
+        """Replica kill + switch crash + revival under constant load:
+        the replicated counter must end exact and identical."""
+        cluster = make(protocol, num_replicas=4)
+        service = ReplicatedService(cluster, Counter)
+        client = service.new_client()
+        outcomes = []
+        target = 200
+
+        def pump(outcome=None):
+            if outcome is not None:
+                outcomes.append(outcome)
+            if client.calls < target:
+                client.call(Counter.add_command("ops", 1), pump)
+
+        for _ in range(4):
+            pump()
+        schedule = FaultSchedule(cluster)
+        schedule.at_ms(1).kill_app(4)
+        schedule.at_ms(30).crash_switch()
+        schedule.at_ms(120).revive_switch()
+        schedule.arm()
+        ok = cluster.sim.run_until(lambda: len(outcomes) >= target,
+                                   timeout=2_000 * MS)
+        assert ok, f"only {len(outcomes)} / {target} commands finished"
+        cluster.run_for(10 * MS)
+        live = [m for m in cluster.members.values()
+                if m.role.value != "stopped"]
+        for member in live:
+            assert service.machines[member.node_id].value("ops") == target

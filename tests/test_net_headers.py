@@ -1,0 +1,117 @@
+"""Unit tests for addresses and L2-L4 header codecs."""
+
+import pytest
+
+from repro.net import (
+    EthernetHeader,
+    Ipv4Address,
+    Ipv4Header,
+    MacAddress,
+    UdpHeader,
+)
+
+
+class TestMacAddress:
+    def test_parse_format_roundtrip(self):
+        mac = MacAddress.parse("02:00:00:00:00:2a")
+        assert str(mac) == "02:00:00:00:00:2a"
+        assert mac.value == 0x02_00_00_00_00_2A
+
+    def test_bytes_roundtrip(self):
+        mac = MacAddress(0xAABBCCDDEEFF)
+        assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+
+    def test_broadcast(self):
+        assert str(MacAddress.broadcast()) == "ff:ff:ff:ff:ff:ff"
+
+    def test_equality_and_hash(self):
+        assert MacAddress(5) == MacAddress(5)
+        assert hash(MacAddress(5)) == hash(MacAddress(5))
+        assert MacAddress(5) != MacAddress(6)
+
+
+class TestIpv4Address:
+    def test_parse_format_roundtrip(self):
+        ip = Ipv4Address.parse("10.0.0.254")
+        assert str(ip) == "10.0.0.254"
+        assert ip.value == 0x0A0000FE
+
+    def test_bad_octet_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Address.parse("10.0.0.256")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Address.parse("10.0.0")
+
+    def test_bytes_roundtrip(self):
+        ip = Ipv4Address.parse("192.168.1.1")
+        assert Ipv4Address.from_bytes(ip.to_bytes()) == ip
+
+
+class TestEthernetHeader:
+    def test_roundtrip(self):
+        header = EthernetHeader(MacAddress(1), MacAddress(2), 0x0800)
+        parsed = EthernetHeader.unpack(header.pack())
+        assert parsed.dst == MacAddress(1)
+        assert parsed.src == MacAddress(2)
+        assert parsed.ethertype == 0x0800
+
+    def test_size_is_14(self):
+        header = EthernetHeader(MacAddress(1), MacAddress(2))
+        assert len(header.pack()) == EthernetHeader.SIZE == 14
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.unpack(b"\x00" * 10)
+
+    def test_copy_is_independent(self):
+        header = EthernetHeader(MacAddress(1), MacAddress(2))
+        clone = header.copy()
+        clone.dst = MacAddress(9)
+        assert header.dst == MacAddress(1)
+
+
+class TestIpv4Header:
+    def test_roundtrip(self):
+        header = Ipv4Header(Ipv4Address.parse("10.0.0.1"),
+                            Ipv4Address.parse("10.0.0.2"),
+                            protocol=17, total_length=120, ttl=63)
+        parsed = Ipv4Header.unpack(header.pack())
+        assert str(parsed.src) == "10.0.0.1"
+        assert str(parsed.dst) == "10.0.0.2"
+        assert parsed.protocol == 17
+        assert parsed.total_length == 120
+        assert parsed.ttl == 63
+
+    def test_size_is_20(self):
+        header = Ipv4Header(Ipv4Address(1), Ipv4Address(2))
+        assert len(header.pack()) == Ipv4Header.SIZE == 20
+
+    def test_checksum_verified_on_unpack(self):
+        header = Ipv4Header(Ipv4Address(1), Ipv4Address(2))
+        data = bytearray(header.pack())
+        data[15] ^= 0xFF  # corrupt a source-address byte
+        with pytest.raises(ValueError):
+            Ipv4Header.unpack(bytes(data))
+
+    def test_checksum_of_packed_header_is_zero(self):
+        header = Ipv4Header(Ipv4Address.parse("10.0.0.1"),
+                            Ipv4Address.parse("10.0.0.254"))
+        assert Ipv4Header.checksum(header.pack()) == 0
+
+
+class TestUdpHeader:
+    def test_roundtrip(self):
+        header = UdpHeader(4791, 4791, length=108)
+        parsed = UdpHeader.unpack(header.pack())
+        assert parsed.src_port == 4791
+        assert parsed.dst_port == 4791
+        assert parsed.length == 108
+
+    def test_size_is_8(self):
+        assert len(UdpHeader(1, 2).pack()) == UdpHeader.SIZE == 8

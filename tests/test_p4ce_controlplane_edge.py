@@ -1,0 +1,145 @@
+"""Edge-case tests for the P4CE control plane: lifecycle, id recycling,
+rejections, stale epochs, resource exhaustion."""
+
+import sys
+
+import pytest
+
+from repro.p4ce import GroupState, LOG_SERVICE_ID, MemberAdvert
+from repro.rdma import ListenerReply
+
+sys.path.insert(0, "tests")
+from test_p4ce_plane import MS, P4ceRig  # noqa: E402
+
+
+class TestGroupLifecycle:
+    def test_teardown_frees_table_entries(self):
+        rig = P4ceRig(num_replicas=2)
+        rig.create_group(epoch=1)
+        assert len(rig.program.bcast_table) == 1
+        rig.create_group(replicas=[rig.replicas[0]], epoch=2)
+        # The replaced group's entries are gone; only the new group's remain.
+        assert len(rig.program.bcast_table) == 1
+        assert len(rig.program.aggr_table) == 1
+        assert len(rig.program.egress_conn_table) == 1
+        assert len(rig.switch.multicast) == 1
+
+    def test_endpoint_ids_recycled(self):
+        rig = P4ceRig(num_replicas=2)
+        for epoch in range(1, 6):
+            rig.create_group(epoch=epoch)
+        # 5 sequential groups with 1 leader + 2 replicas each: with
+        # recycling the allocator never runs past a handful of ids.
+        assert rig.cp._next_endpoint_id <= 3 * 2 + 1
+        group = next(iter(rig.cp.groups.values()))
+        assert all(0 < eid < 256 for eid in group.replica_conns)
+
+    def test_group_indexes_recycled(self):
+        rig = P4ceRig(num_replicas=2)
+        for epoch in range(1, 5):
+            rig.create_group(epoch=epoch)
+        assert rig.cp._next_group_index <= 2
+
+    def test_registers_reset_between_group_generations(self):
+        rig = P4ceRig(num_replicas=2)
+        qp, cq, result = rig.create_group(epoch=1)
+        advert = MemberAdvert.unpack(result["pd"])
+        done = []
+        cq.on_completion = done.append
+        for i in range(5):
+            rig.leader.post_write(qp, b"x", i, advert.r_key)
+        rig.sim.run(until=rig.sim.now + 2 * MS)
+        assert len(done) == 5
+        # Replace the group reusing the same index; its NumRecv window
+        # must be clean so new PSNs aggregate from zero.
+        qp2, cq2, result2 = rig.create_group(epoch=2)
+        advert2 = MemberAdvert.unpack(result2["pd"])
+        done2 = []
+        cq2.on_completion = done2.append
+        for i in range(5):
+            rig.leader.post_write(qp2, b"y", i, advert2.r_key)
+        rig.sim.run(until=rig.sim.now + 2 * MS)
+        assert len([wc for wc in done2 if wc.ok]) == 5
+
+    def test_virtual_rkeys_differ_between_groups(self):
+        rig = P4ceRig(num_replicas=2)
+        _qp1, _cq1, r1 = rig.create_group(epoch=1)
+        _qp2, _cq2, r2 = rig.create_group(epoch=2)
+        assert MemberAdvert.unpack(r1["pd"]).r_key != \
+            MemberAdvert.unpack(r2["pd"]).r_key
+
+
+class TestRejections:
+    def test_wrong_service_rejected(self):
+        rig = P4ceRig()
+        qp = rig.leader.create_qp(rig.leader.create_cq())
+        result = {}
+        rig.leader.cm.connect(rig.switch.ip, 0xBAD, qp, b"junk",
+                              lambda q, pd, err: result.update(err=err),
+                              timeout_ns=50 * MS)
+        rig.sim.run_until(lambda: result, timeout=60 * MS)
+        assert result["err"] is not None
+
+    def test_garbage_private_data_rejected(self):
+        from repro.p4ce import GROUP_SERVICE_ID
+        rig = P4ceRig()
+        qp = rig.leader.create_qp(rig.leader.create_cq())
+        result = {}
+        rig.leader.cm.connect(rig.switch.ip, GROUP_SERVICE_ID, qp,
+                              b"\xff\xff\xff",
+                              lambda q, pd, err: result.update(err=err),
+                              timeout_ns=50 * MS)
+        rig.sim.run_until(lambda: result, timeout=60 * MS)
+        assert result["err"] is not None
+        assert rig.cp.groups == {}
+
+    def test_one_replica_reject_aborts_whole_group(self):
+        rig = P4ceRig(num_replicas=4)
+        rig.replicas[2].cm.unlisten(LOG_SERVICE_ID)
+        rig.replicas[2].cm.listen(LOG_SERVICE_ID,
+                                  lambda info: ListenerReply(reject_reason=7))
+        _qp, _cq, result = rig.create_group()
+        assert result["err"] is not None
+        # Nothing half-programmed survives.
+        assert len(rig.program.bcast_table) == 0
+        assert len(rig.program.aggr_table) == 0
+        assert len(rig.switch.multicast) == 0
+
+    def test_unknown_replica_ip_aborts(self):
+        from repro.net import Ipv4Address
+        from repro.p4ce import GROUP_SERVICE_ID, GroupRequest
+        rig = P4ceRig()
+        qp = rig.leader.create_qp(rig.leader.create_cq())
+        request = GroupRequest(rig.leader.ip,
+                               [Ipv4Address.parse("10.9.9.9")], 1)
+        result = {}
+        rig.leader.cm.connect(rig.switch.ip, GROUP_SERVICE_ID, qp,
+                              request.pack(),
+                              lambda q, pd, err: result.update(err=err),
+                              timeout_ns=100 * MS)
+        rig.sim.run_until(lambda: result, timeout=120 * MS)
+        assert result["err"] is not None
+
+
+class TestDataPlaneDispatch:
+    def test_unknown_roce_qp_goes_to_cpu_not_dropped(self):
+        rig = P4ceRig()
+        rig.create_group()
+        before = rig.program.redirected_cm
+        # A write to the switch IP on a random QP number.
+        qp = rig.leader.create_qp(rig.leader.create_cq())
+        qp.connect(rig.switch.ip, 0x123456, initial_psn=1, expected_psn=1)
+        rig.leader.post_write(qp, b"stray", 0x1000, 0xAB)
+        rig.sim.run(until=rig.sim.now + 1 * MS)
+        assert rig.program.redirected_cm > before
+
+    def test_non_write_on_bcast_qp_not_scattered(self):
+        rig = P4ceRig()
+        qp, cq, result = rig.create_group()
+        advert = MemberAdvert.unpack(result["pd"])
+        from repro.rdma import Access
+        local = rig.leader.reg_mr(64, Access.LOCAL_WRITE, "buf")
+        before = rig.program.scattered
+        rig.leader.post_read(qp, local.addr, 0, advert.r_key, 8)
+        rig.sim.run(until=rig.sim.now + 1 * MS)
+        assert rig.program.scattered == before

@@ -1,0 +1,110 @@
+"""Tests for P4CE wire codecs and group/connection metadata."""
+
+import pytest
+
+from repro import params
+from repro.net import Ipv4Address, MacAddress
+from repro.p4ce import (
+    CommunicationGroup,
+    ConnectionStructure,
+    GroupRequest,
+    LeaderAdvert,
+    MemberAdvert,
+)
+
+
+class TestGroupRequest:
+    def test_roundtrip(self):
+        req = GroupRequest(Ipv4Address.parse("10.0.0.1"),
+                           [Ipv4Address.parse("10.0.0.2"),
+                            Ipv4Address.parse("10.0.0.3")], epoch=5)
+        parsed = GroupRequest.unpack(req.pack())
+        assert str(parsed.leader_ip) == "10.0.0.1"
+        assert [str(ip) for ip in parsed.replica_ips] == ["10.0.0.2", "10.0.0.3"]
+        assert parsed.epoch == 5
+
+    def test_empty_replica_list_rejected(self):
+        with pytest.raises(ValueError):
+            GroupRequest(Ipv4Address(1), [])
+
+    def test_truncated_rejected(self):
+        req = GroupRequest(Ipv4Address(1), [Ipv4Address(2)])
+        with pytest.raises(ValueError):
+            GroupRequest.unpack(req.pack()[:-2])
+
+    def test_fits_cm_private_data(self):
+        replicas = [Ipv4Address(i) for i in range(1, 33)]
+        req = GroupRequest(Ipv4Address(99), replicas)
+        assert len(req.pack()) <= 192
+
+
+class TestAdverts:
+    def test_member_advert_roundtrip(self):
+        advert = MemberAdvert(0x7F12_3456_7890, 1 << 24, 0xDEADBEEF)
+        parsed = MemberAdvert.unpack(advert.pack())
+        assert parsed.virtual_address == 0x7F12_3456_7890
+        assert parsed.length == 1 << 24
+        assert parsed.r_key == 0xDEADBEEF
+
+    def test_member_advert_ignores_trailing_bytes(self):
+        # The switch parses only the leading advert of a log grant.
+        advert = MemberAdvert(1, 2, 3)
+        parsed = MemberAdvert.unpack(advert.pack() + b"trailing-lease-advert")
+        assert parsed.virtual_address == 1
+
+    def test_leader_advert_roundtrip(self):
+        advert = LeaderAdvert(Ipv4Address.parse("10.0.0.7"), epoch=9)
+        parsed = LeaderAdvert.unpack(advert.pack())
+        assert str(parsed.leader_ip) == "10.0.0.7"
+        assert parsed.epoch == 9
+
+
+class TestConnectionStructure:
+    def make(self, offset=100):
+        return ConnectionStructure(3, Ipv4Address(2), MacAddress(2), 1,
+                                   0x1234, params.ROCE_UDP_PORT,
+                                   virtual_address=0x5000, buffer_size=4096,
+                                   r_key=0xAB, psn_offset=offset)
+
+    def test_psn_translation_roundtrip(self):
+        conn = self.make(offset=100)
+        for leader_psn in (0, 5, 0xFFFFFF, 0xFFFF9C):
+            replica = conn.translate_psn_to_replica(leader_psn)
+            assert conn.translate_psn_to_leader(replica) == leader_psn
+
+    def test_psn_translation_wraps_24_bits(self):
+        conn = self.make(offset=10)
+        assert conn.translate_psn_to_replica(0xFFFFFF) == 9
+
+    def test_endpoint_id_is_8_bit(self):
+        with pytest.raises(ValueError):
+            ConnectionStructure(256, Ipv4Address(1), MacAddress(1), 0, 1, 1)
+
+
+class TestCommunicationGroup:
+    def test_numrecv_layout_isolated_per_group(self):
+        g0 = CommunicationGroup(0, Ipv4Address(1))
+        g1 = CommunicationGroup(1, Ipv4Address(2))
+        slots0 = {g0.numrecv_slot(psn) for psn in range(1000)}
+        slots1 = {g1.numrecv_slot(psn) for psn in range(1000)}
+        assert slots0.isdisjoint(slots1)
+        assert len(slots0) == params.NUMRECV_SLOTS
+
+    def test_numrecv_slot_wraps_at_256(self):
+        group = CommunicationGroup(0, Ipv4Address(1))
+        assert group.numrecv_slot(0) == group.numrecv_slot(256)
+        assert group.numrecv_slot(5) == group.numrecv_base + 5
+
+    def test_credit_slots(self):
+        group = CommunicationGroup(2, Ipv4Address(1))
+        assert group.credit_slot(1) == group.credit_base
+        assert group.credit_slot(2) == group.credit_base + 1
+
+    def test_replica_by_qpn(self):
+        group = CommunicationGroup(0, Ipv4Address(1))
+        conn = ConnectionStructure(4, Ipv4Address(2), MacAddress(2), 1, 0x77,
+                                   params.ROCE_UDP_PORT)
+        group.replica_conns[4] = conn
+        group.aggr_qpns[4] = 0x999
+        assert group.replica_by_qpn(0x999) is conn
+        assert group.replica_by_qpn(0x111) is None

@@ -1,0 +1,81 @@
+"""Sanity checks on the calibration constants and derived formulas.
+
+These tests pin the paper-quoted values so an accidental edit to
+``params.py`` fails loudly instead of silently skewing every benchmark.
+"""
+
+import pytest
+
+from repro import params
+
+
+class TestPaperQuotedConstants:
+    def test_link_rate_is_100_gbit(self):
+        assert params.LINK_RATE_BPS == 100_000_000_000
+
+    def test_rdma_timeout_is_131_us(self):
+        # "timeout values ... of the form 4.096 x 2^x us"; 131.072 us = x=5.
+        assert params.RDMA_TIMEOUT_NS == 131_072
+        assert params.rdma_timeout_ns(5) == params.RDMA_TIMEOUT_NS
+
+    def test_timeout_formula(self):
+        assert params.rdma_timeout_ns(0) == 4_096
+        assert params.rdma_timeout_ns(1) == 8_192
+
+    def test_heartbeat_period_100us(self):
+        assert params.HEARTBEAT_PERIOD_NS == 100_000
+
+    def test_switch_reconfig_40ms(self):
+        assert params.SWITCH_RECONFIG_NS == 40_000_000
+
+    def test_parser_121_mpps(self):
+        assert params.SWITCH_PARSER_PPS == 121_000_000
+        assert params.SWITCH_PARSER_GAP_NS == pytest.approx(1e9 / 121e6)
+
+    def test_numrecv_256_slots(self):
+        assert params.NUMRECV_SLOTS == 256
+
+    def test_16_pending_requests(self):
+        assert params.MAX_PENDING_REQUESTS == 16
+
+    def test_pmtu_1_kib(self):
+        # "a write request may get split into multiple packets, each with
+        # a payload of 1 KiB"
+        assert params.ROCE_PMTU == 1024
+
+
+class TestCalibrationAnchors:
+    def test_p4ce_rate_anchor(self):
+        """One (post, poll, decision) per consensus must give ~2.3 M/s."""
+        per_op = (params.CPU_POST_SEND_NS + params.CPU_POLL_CQE_NS
+                  + params.CPU_DECISION_NS)
+        rate = 1e9 / per_op
+        assert 2.2e6 <= rate <= 2.4e6
+
+    def test_mu_rate_scaling(self):
+        """n (post, poll) pairs per consensus give ~1.2 M / ~0.6 M."""
+        pair = params.CPU_POST_SEND_NS + params.CPU_POLL_CQE_NS
+        assert 1.1e6 <= 1e9 / (2 * pair) <= 1.3e6
+        assert 0.55e6 <= 1e9 / (4 * pair) <= 0.65e6
+
+    def test_serialization_line_rate(self):
+        """A 1 KiB-payload RoCE frame yields ~11 GB/s of goodput."""
+        frame = 14 + 20 + 8 + 12 + 16 + 1024 + 4 + 4  # headers + payload
+        ns = params.serialization_ns(frame)
+        goodput = 1024 / ns  # bytes per ns == GB/s
+        assert 10.5 <= goodput <= 11.8
+
+    def test_min_frame_padding(self):
+        assert params.serialization_ns(1) == params.serialization_ns(64)
+
+    def test_switch_crash_recovery_budget(self):
+        """4 connection setups + timeout land near Table IV's 60 ms."""
+        total = (4 * params.CONNECTION_SETUP_CPU_NS
+                 + (params.RDMA_RETRY_COUNT + 1) * params.RDMA_TIMEOUT_NS)
+        assert 50e6 <= total <= 70e6
+
+    def test_mu_leader_change_budget(self):
+        """Detection + two permission flips sit near Table IV's 0.9 ms."""
+        total = (params.HEARTBEAT_MISS_LIMIT * params.HEARTBEAT_PERIOD_NS
+                 + 2 * params.CPU_MODIFY_QP_NS)
+        assert 0.6e6 <= total <= 1.2e6

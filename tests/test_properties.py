@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.log import (
+    Log,
+    encode_entry,
+    entry_size,
+    pack_control,
+    unpack_control,
+)
+from repro.net import EthernetHeader, Ipv4Address, Ipv4Header, MacAddress, UdpHeader
+from repro.p4ce import ConnectionStructure, GroupRequest, MemberAdvert
+from repro.rdma import (
+    Access,
+    AddressSpace,
+    Aeth,
+    Bth,
+    CmMessage,
+    Opcode,
+    Reth,
+    parse_roce,
+    psn_add,
+    psn_distance,
+    psn_in_window,
+)
+from repro.sim import SeededRng
+from repro.switch import tofino_min
+
+psn = st.integers(min_value=0, max_value=(1 << 24) - 1)
+u32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+u48 = st.integers(min_value=0, max_value=(1 << 48) - 1)
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestPsnArithmetic:
+    @given(psn, st.integers(min_value=0, max_value=1 << 20))
+    def test_add_then_distance_roundtrip(self, start, delta):
+        assert psn_distance(start, psn_add(start, delta)) == delta & 0xFFFFFF
+
+    @given(psn)
+    def test_distance_to_self_is_zero(self, value):
+        assert psn_distance(value, value) == 0
+
+    @given(psn, st.integers(min_value=0, max_value=255),
+           st.integers(min_value=1, max_value=256))
+    def test_window_membership(self, start, offset, length):
+        member = psn_add(start, offset)
+        assert psn_in_window(member, start, length) == (offset < length)
+
+
+class TestTofinoMin:
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_min_8bit_matches_python(self, a, b):
+        assert tofino_min(a, b, width=8) == min(a, b)
+
+    @given(u32, u32)
+    def test_min_32bit_matches_python(self, a, b):
+        assert tofino_min(a, b) == min(a, b)
+
+    @given(u32, u32, u32)
+    def test_min_is_associative(self, a, b, c):
+        assert tofino_min(tofino_min(a, b), c) == tofino_min(a, tofino_min(b, c))
+
+
+class TestHeaderRoundtrips:
+    @given(st.sampled_from(list(Opcode)), psn, psn, st.booleans())
+    def test_bth(self, opcode, qp, seq, ack_req):
+        bth = Bth(opcode, qp, seq, ack_req=ack_req)
+        parsed = Bth.unpack(bth.pack())
+        assert (parsed.opcode, parsed.dest_qp, parsed.psn, parsed.ack_req) == \
+            (opcode, qp, seq, ack_req)
+
+    @given(u64, u32, u32)
+    def test_reth(self, va, rkey, length):
+        parsed = Reth.unpack(Reth(va, rkey, length).pack())
+        assert (parsed.virtual_address, parsed.r_key, parsed.dma_length) == \
+            (va, rkey, length)
+
+    @given(st.integers(min_value=0, max_value=255), psn)
+    def test_aeth(self, syndrome, msn):
+        parsed = Aeth.unpack(Aeth(syndrome, msn).pack())
+        assert (parsed.syndrome, parsed.msn) == (syndrome, msn)
+
+    @given(st.binary(max_size=200), psn, psn)
+    def test_roce_write_only_roundtrip(self, payload, qp, seq):
+        bth = Bth(Opcode.RDMA_WRITE_ONLY, qp, seq)
+        reth = Reth(0x7000, 0xAB, len(payload))
+        wire = bth.pack() + reth.pack() + payload + b"\x00" * 4
+        pbth, preth, paeth, ppayload = parse_roce(wire)
+        assert ppayload == payload
+        assert pbth.psn == seq
+        assert preth.dma_length == len(payload)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+           st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_mac(self, a, b):
+        assert MacAddress.from_bytes(MacAddress(a).to_bytes()).value == a
+        assert MacAddress.parse(str(MacAddress(b))).value == b
+
+    @given(u32)
+    def test_ipv4_address(self, value):
+        ip = Ipv4Address(value)
+        assert Ipv4Address.parse(str(ip)) == ip
+
+    @given(u32, u32, st.integers(min_value=20, max_value=65535),
+           st.integers(min_value=1, max_value=255))
+    def test_ipv4_header(self, src, dst, length, ttl):
+        header = Ipv4Header(Ipv4Address(src), Ipv4Address(dst),
+                            total_length=length, ttl=ttl)
+        parsed = Ipv4Header.unpack(header.pack())
+        assert parsed.src.value == src and parsed.dst.value == dst
+        assert parsed.total_length == length and parsed.ttl == ttl
+
+
+class TestCmMessageRoundtrip:
+    @given(st.integers(min_value=1, max_value=5), u32, u32, u64, psn, psn,
+           st.binary(max_size=192),
+           st.integers(min_value=0, max_value=255))
+    def test_roundtrip(self, msg_type, local_id, remote_id, service, qpn,
+                       start_psn, private, reason):
+        msg = CmMessage(msg_type, local_id, remote_id, service, qpn,
+                        start_psn, private, reason)
+        parsed = CmMessage.unpack(msg.pack())
+        assert parsed.msg_type == msg_type
+        assert parsed.local_cm_id == local_id
+        assert parsed.remote_cm_id == remote_id
+        assert parsed.service_id == service
+        assert parsed.qpn == qpn
+        assert parsed.starting_psn == start_psn
+        assert parsed.private_data == private
+        assert parsed.reject_reason == reason
+
+
+class TestP4ceWire:
+    @given(u32, st.lists(u32, min_size=1, max_size=32), u64)
+    def test_group_request_roundtrip(self, leader, replicas, epoch):
+        req = GroupRequest(Ipv4Address(leader),
+                           [Ipv4Address(r) for r in replicas], epoch)
+        parsed = GroupRequest.unpack(req.pack())
+        assert parsed.leader_ip.value == leader
+        assert [r.value for r in parsed.replica_ips] == replicas
+        assert parsed.epoch == epoch
+
+    @given(u64, u64, u32)
+    def test_member_advert_roundtrip(self, va, length, rkey):
+        parsed = MemberAdvert.unpack(MemberAdvert(va, length, rkey).pack())
+        assert (parsed.virtual_address, parsed.length, parsed.r_key) == \
+            (va, length, rkey)
+
+    @given(psn, psn)
+    def test_psn_translation_inverse(self, leader_psn, offset):
+        conn = ConnectionStructure(1, Ipv4Address(1), MacAddress(1), 0, 1,
+                                   4791, psn_offset=offset)
+        replica = conn.translate_psn_to_replica(leader_psn)
+        assert conn.translate_psn_to_leader(replica) == leader_psn
+
+
+class TestLogProperties:
+    @given(st.lists(st.binary(max_size=100), min_size=1, max_size=60),
+           st.integers(min_value=256, max_value=2048))
+    @settings(max_examples=60)
+    def test_writer_reader_agree_across_wraps(self, payloads, capacity):
+        """Whatever the writer appends, a byte-copy reader consumes in
+        order -- across any number of wraps."""
+        space = AddressSpace(SeededRng(1))
+        writer = Log(space.register(capacity, Access.REMOTE_WRITE))
+        reader = Log(space.register(capacity, Access.REMOTE_WRITE))
+        seen = []
+        for payload in payloads:
+            if entry_size(len(payload)) > writer.usable:
+                continue
+            writer.append_local(payload, epoch=1)
+            reader.region.buffer[:] = writer.region.buffer
+            seen.extend(e.payload for e in reader.consume())
+        expected = [p for p in payloads if entry_size(len(p)) <= writer.usable]
+        assert seen == expected
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_rescan_equals_incremental_cursor(self, payloads):
+        space = AddressSpace(SeededRng(2))
+        log = Log(space.register(8192, Access.REMOTE_WRITE))
+        for payload in payloads:
+            log.append_local(payload, epoch=2)
+        end = log.next_offset
+        log.next_offset = 0
+        assert log.rescan() == end
+
+    @given(st.lists(st.binary(max_size=48), min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60)
+    def test_raw_segments_reassemble(self, payloads, skip):
+        space = AddressSpace(SeededRng(3))
+        log = Log(space.register(512, Access.REMOTE_WRITE))
+        for payload in payloads:
+            if entry_size(len(payload)) <= log.usable:
+                log.append_local(payload, epoch=1)
+        if log.next_offset == 0:
+            return
+        start = min(skip, log.next_offset)
+        segments = log.raw_segments(start, log.next_offset - start)
+        assert b"".join(s.data for s in segments) == \
+            log.read_raw(start, log.next_offset - start)
+
+    @given(u48, u64)
+    def test_entry_header_preserves_epoch(self, length_seed, epoch):
+        payload = b"x" * (length_seed % 64)
+        encoded = encode_entry(payload, epoch, lap=3)
+        space = AddressSpace(SeededRng(4))
+        log = Log(space.register(4096, Access.REMOTE_WRITE))
+        # Place at lap-3's physical start to match the lap tag.
+        log.next_offset = 3 * log.usable
+        log.write_raw(log.next_offset, encoded)
+        entry = log.peek(log.next_offset)
+        assert entry is not None
+        assert entry.epoch == epoch
+        assert entry.payload == payload
+
+
+class TestControlRegion:
+    @given(u64, u64, u64, u64)
+    def test_roundtrip(self, hb, desc, epoch, granted):
+        assert unpack_control(pack_control(hb, desc, epoch, granted)) == \
+            (hb, desc, epoch, granted)

@@ -1,0 +1,114 @@
+"""Unit tests for completion queues and the host verbs surface."""
+
+import pytest
+
+from repro import params
+from repro.rdma import (
+    Access,
+    CompletionQueue,
+    QpStateError,
+    WcStatus,
+    WorkCompletion,
+    WorkRequest,
+    WrOpcode,
+)
+
+
+def wc(wr_id=1, status=WcStatus.SUCCESS):
+    return WorkCompletion(wr_id, status, "rdma_write", 64, 0x10, 0.0)
+
+
+class TestCompletionQueue:
+    def test_poll_drains_fifo(self):
+        cq = CompletionQueue()
+        for i in range(5):
+            cq.push(wc(i))
+        first = cq.poll(max_entries=3)
+        assert [w.wr_id for w in first] == [0, 1, 2]
+        assert [w.wr_id for w in cq.poll()] == [3, 4]
+        assert cq.poll() == []
+
+    def test_poll_one(self):
+        cq = CompletionQueue()
+        assert cq.poll_one() is None
+        cq.push(wc(9))
+        assert cq.poll_one().wr_id == 9
+
+    def test_callback_fires_on_push(self):
+        cq = CompletionQueue()
+        seen = []
+        cq.on_completion = seen.append
+        cq.push(wc())
+        assert len(seen) == 1
+
+    def test_overflow_flag(self):
+        cq = CompletionQueue(capacity=2)
+        for i in range(3):
+            cq.push(wc(i))
+        assert cq.overflowed
+        assert len(cq) == 2
+
+    def test_wc_ok_property(self):
+        assert wc().ok
+        assert not wc(status=WcStatus.RETRY_EXCEEDED).ok
+
+
+class TestHostVerbs:
+    def test_post_send_charges_cpu(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        busy_before = two_hosts.client.cpu.busy_time
+        two_hosts.client.post_write(qp, b"x", region.addr, region.r_key)
+        two_hosts.sim.run(until=two_hosts.sim.now + 1_000_000)
+        assert two_hosts.client.cpu.busy_time - busy_before >= params.CPU_POST_SEND_NS
+
+    def test_handle_completion_charges_poll_cost(self, two_hosts):
+        host = two_hosts.client
+        busy_before = host.cpu.busy_time
+        seen = []
+        host.handle_completion(wc(), seen.append)
+        two_hosts.sim.run(until=two_hosts.sim.now + 10_000)
+        assert seen
+        assert host.cpu.busy_time - busy_before == params.CPU_POLL_CQE_NS
+
+    def test_wr_ids_unique(self, two_hosts):
+        ids = {two_hosts.client.fresh_wr_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_post_on_dead_host_is_noop(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        two_hosts.client.crash()
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_write(qp, b"x", region.addr, region.r_key)
+        two_hosts.sim.run(until=two_hosts.sim.now + 2_000_000)
+        assert done == []
+
+    def test_post_on_unconnected_qp_raises(self, two_hosts):
+        qp = two_hosts.client.create_qp(two_hosts.client.create_cq())
+        with pytest.raises(QpStateError):
+            two_hosts.client.nic.post_send(
+                qp, WorkRequest(1, WrOpcode.RDMA_WRITE, data=b"x"))
+
+    def test_send_queue_overflow_is_shed_not_raised(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        qp.max_send_wr = 8
+        two_hosts.link.set_down()  # nothing completes: the queue backs up
+        for _ in range(30):
+            two_hosts.client.post_write(qp, b"y" * 8, region.addr, region.r_key)
+        two_hosts.sim.run(until=two_hosts.sim.now + 100_000)
+        assert two_hosts.client.send_queue_overflows > 0
+
+    def test_modify_qp_costs_and_applies(self, two_hosts):
+        qp, cq, sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        start = two_hosts.sim.now
+        two_hosts.server.modify_qp_permissions(
+            sqp, remote_write=False, on_done=lambda: done.append(two_hosts.sim.now))
+        two_hosts.sim.run(until=two_hosts.sim.now + 1_000_000)
+        assert done and done[0] - start >= params.CPU_MODIFY_QP_NS
+        assert not sqp.remote_write_allowed
+
+    def test_crash_powers_off_all_nics(self, two_hosts):
+        two_hosts.server.crash()
+        assert not two_hosts.server.nic.powered
+        assert not two_hosts.server.alive

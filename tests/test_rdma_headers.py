@@ -1,0 +1,139 @@
+"""Unit tests for the RoCE header codecs and opcode helpers."""
+
+import pytest
+
+from repro.rdma import (
+    Aeth,
+    AethCode,
+    Bth,
+    NakCode,
+    Opcode,
+    Reth,
+    is_positive_ack,
+    make_syndrome,
+    parse_roce,
+    saturate_credits,
+    syndrome_code,
+    syndrome_value,
+)
+
+
+class TestBth:
+    def test_roundtrip(self):
+        bth = Bth(Opcode.RDMA_WRITE_ONLY, 0x12345, 0xABCDE, ack_req=True,
+                  solicited=True)
+        parsed = Bth.unpack(bth.pack())
+        assert parsed.opcode is Opcode.RDMA_WRITE_ONLY
+        assert parsed.dest_qp == 0x12345
+        assert parsed.psn == 0xABCDE
+        assert parsed.ack_req and parsed.solicited
+
+    def test_size_is_12(self):
+        assert len(Bth(Opcode.ACKNOWLEDGE, 1, 2).pack()) == Bth.SIZE == 12
+
+    def test_psn_and_qpn_masked_to_24_bits(self):
+        bth = Bth(Opcode.SEND_ONLY, 0x1FF_FFFF, 0x1FF_FFFF)
+        assert bth.dest_qp == 0xFFFFFF
+        assert bth.psn == 0xFFFFFF
+
+    def test_ack_req_bit_independent_of_psn(self):
+        bth = Bth(Opcode.RDMA_WRITE_LAST, 5, 0xFFFFFF, ack_req=True)
+        parsed = Bth.unpack(bth.pack())
+        assert parsed.psn == 0xFFFFFF
+        assert parsed.ack_req
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            Bth.unpack(b"\x00" * 4)
+
+
+class TestReth:
+    def test_roundtrip(self):
+        reth = Reth(0x7F00_0000_1234, 0xDEADBEEF, 1 << 20)
+        parsed = Reth.unpack(reth.pack())
+        assert parsed.virtual_address == 0x7F00_0000_1234
+        assert parsed.r_key == 0xDEADBEEF
+        assert parsed.dma_length == 1 << 20
+
+    def test_size_is_16(self):
+        assert len(Reth(0, 0, 0).pack()) == Reth.SIZE == 16
+
+
+class TestAeth:
+    def test_roundtrip(self):
+        aeth = Aeth(make_syndrome(AethCode.ACK, 13), 0x123456)
+        parsed = Aeth.unpack(aeth.pack())
+        assert parsed.syndrome == aeth.syndrome
+        assert parsed.msn == 0x123456
+
+    def test_size_is_4(self):
+        assert len(Aeth(0, 0).pack()) == Aeth.SIZE == 4
+
+    def test_syndrome_range_checked(self):
+        with pytest.raises(ValueError):
+            Aeth(256, 0)
+
+
+class TestSyndrome:
+    def test_ack_with_credits(self):
+        syndrome = make_syndrome(AethCode.ACK, 13)
+        assert syndrome_code(syndrome) is AethCode.ACK
+        assert syndrome_value(syndrome) == 13
+        assert is_positive_ack(syndrome)
+
+    def test_nak_code(self):
+        syndrome = make_syndrome(AethCode.NAK, NakCode.REMOTE_ACCESS_ERROR)
+        assert syndrome_code(syndrome) is AethCode.NAK
+        assert NakCode(syndrome_value(syndrome)) is NakCode.REMOTE_ACCESS_ERROR
+        assert not is_positive_ack(syndrome)
+
+    def test_value_must_fit_5_bits(self):
+        with pytest.raises(ValueError):
+            make_syndrome(AethCode.ACK, 32)
+
+    def test_saturate_credits(self):
+        assert saturate_credits(100) == 31
+        assert saturate_credits(-3) == 0
+        assert saturate_credits(7) == 7
+
+
+class TestParseRoce:
+    def test_write_only_stack(self):
+        bth = Bth(Opcode.RDMA_WRITE_ONLY, 5, 9)
+        reth = Reth(0x1000, 0xAB, 64)
+        data = bth.pack() + reth.pack() + b"p" * 64 + b"\x00" * 4
+        pbth, preth, paeth, payload = parse_roce(data)
+        assert pbth.opcode is Opcode.RDMA_WRITE_ONLY
+        assert preth.dma_length == 64
+        assert paeth is None
+        assert payload == b"p" * 64
+
+    def test_ack_stack(self):
+        bth = Bth(Opcode.ACKNOWLEDGE, 5, 9)
+        aeth = Aeth(make_syndrome(AethCode.ACK, 3), 1)
+        data = bth.pack() + aeth.pack() + b"\x00" * 4
+        pbth, preth, paeth, payload = parse_roce(data)
+        assert pbth.opcode is Opcode.ACKNOWLEDGE
+        assert preth is None
+        assert syndrome_value(paeth.syndrome) == 3
+        assert payload == b""
+
+    def test_middle_write_has_no_reth(self):
+        bth = Bth(Opcode.RDMA_WRITE_MIDDLE, 5, 9)
+        data = bth.pack() + b"q" * 32 + b"\x00" * 4
+        pbth, preth, paeth, payload = parse_roce(data)
+        assert preth is None and paeth is None
+        assert payload == b"q" * 32
+
+    def test_too_short_for_icrc_rejected(self):
+        with pytest.raises(ValueError):
+            parse_roce(Bth(Opcode.ACKNOWLEDGE, 1, 1).pack()[:-10])
+
+    def test_object_and_bytes_mode_agree(self):
+        """The switch parses header objects; prove they match the bytes."""
+        bth = Bth(Opcode.RDMA_WRITE_ONLY, 0x77, 0x55, ack_req=True)
+        reth = Reth(0x2000, 0xCD, 8)
+        wire = bth.pack() + reth.pack() + b"12345678" + b"\x00" * 4
+        pbth, preth, _, payload = parse_roce(wire)
+        assert pbth.pack() == bth.pack()
+        assert preth.pack() == reth.pack()

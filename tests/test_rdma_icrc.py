@@ -1,0 +1,116 @@
+"""ICRC tests: integrity end-to-end, and why the switch must recompute it."""
+
+import pytest
+
+from repro import params
+from repro.net import (
+    EthernetHeader,
+    Ipv4Address,
+    Ipv4Header,
+    MacAddress,
+    Packet,
+    UdpHeader,
+)
+from repro.rdma.headers import Bth, Reth
+from repro.rdma.icrc import check_icrc, compute_icrc, stamp_icrc
+from repro.rdma.opcodes import Opcode
+
+
+def roce_packet(payload=b"data" * 16, psn=7, qp=0x12):
+    pkt = Packet(
+        EthernetHeader(MacAddress(1), MacAddress(2)),
+        Ipv4Header(Ipv4Address(0x0A000001), Ipv4Address(0x0A000002)),
+        UdpHeader(49152, params.ROCE_UDP_PORT),
+        [Bth(Opcode.RDMA_WRITE_ONLY, qp, psn),
+         Reth(0x7000, 0xABCD, 64)],
+        payload, has_icrc=True)
+    pkt.finalize()
+    return pkt
+
+
+class TestIcrcProperties:
+    def test_stamp_then_check(self):
+        pkt = roce_packet()
+        stamp_icrc(pkt)
+        assert check_icrc(pkt)
+
+    def test_unstamped_packet_fails(self):
+        assert not check_icrc(roce_packet())
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: setattr(p.upper[0], "psn", 8),
+        lambda p: setattr(p.upper[0], "dest_qp", 0x13),
+        lambda p: setattr(p.upper[1], "virtual_address", 0x7008),
+        lambda p: setattr(p.upper[1], "r_key", 0xABCE),
+        lambda p: setattr(p.ipv4, "dst", Ipv4Address(0x0A000003)),
+        lambda p: setattr(p, "payload", b"DATA" * 16),
+    ])
+    def test_covered_field_change_invalidates(self, mutate):
+        pkt = roce_packet()
+        stamp_icrc(pkt)
+        mutate(pkt)
+        pkt.finalize()
+        assert not check_icrc(pkt)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: setattr(p.ipv4, "ttl", 63),
+        lambda p: setattr(p.ipv4, "dscp", 4),
+        lambda p: setattr(p.udp, "src_port", 50000),
+        lambda p: setattr(p.eth, "dst", MacAddress(9)),
+    ])
+    def test_masked_field_change_preserved(self, mutate):
+        """Routable fields (TTL, DSCP, MACs, UDP entropy port) are masked
+        from the ICRC so plain routers never break it."""
+        pkt = roce_packet()
+        stamp_icrc(pkt)
+        mutate(pkt)
+        assert check_icrc(pkt)
+
+    def test_copy_carries_stamp(self):
+        pkt = roce_packet()
+        stamp_icrc(pkt)
+        assert check_icrc(pkt.copy())
+
+    def test_deterministic(self):
+        assert compute_icrc(roce_packet()) == compute_icrc(roce_packet())
+
+
+class TestSwitchMustRecompute:
+    def test_p4ce_without_icrc_recompute_delivers_nothing(self, two_hosts=None):
+        """The negative proof: a P4CE program that rewrites headers but
+        forgets the ICRC gets every scattered write discarded by the
+        replicas' NICs, and the leader's write times out."""
+        import sys
+        sys.path.insert(0, "tests")
+        from test_p4ce_plane import P4ceRig, MemberAdvert, MS
+        from repro.rdma import WcStatus
+
+        rig = P4ceRig(recompute_icrc=False)
+        qp, cq, result = rig.create_group()
+        advert = MemberAdvert.unpack(result["pd"])
+        done = []
+        cq.on_completion = done.append
+        rig.leader.post_write(qp, b"doomed", 0, advert.r_key)
+        rig.sim.run(until=rig.sim.now + 5 * MS)
+        # Every replica dropped the rewritten packets at the ICRC check.
+        drops = sum(r.nic.icrc_drops for r in rig.replicas)
+        assert drops > 0
+        for region in rig.logs.values():
+            assert region.read(region.addr, 6) == b"\x00" * 6
+        assert done and done[0].status is WcStatus.RETRY_EXCEEDED
+
+    def test_p4ce_with_recompute_passes_checks(self):
+        import sys
+        sys.path.insert(0, "tests")
+        from test_p4ce_plane import P4ceRig, MemberAdvert, MS
+
+        rig = P4ceRig(recompute_icrc=True)
+        qp, cq, result = rig.create_group()
+        advert = MemberAdvert.unpack(result["pd"])
+        done = []
+        cq.on_completion = done.append
+        rig.leader.post_write(qp, b"intact", 0, advert.r_key)
+        rig.sim.run(until=rig.sim.now + 2 * MS)
+        assert done and done[0].ok
+        assert all(r.nic.icrc_drops == 0 for r in rig.replicas)
+        assert rig.leader.nic.icrc_drops == 0

@@ -1,0 +1,226 @@
+"""Integration tests for the RNIC engine over a back-to-back link."""
+
+import pytest
+
+from repro import params
+from repro.rdma import (
+    Access,
+    QpState,
+    WcStatus,
+    WorkRequest,
+    WrOpcode,
+)
+
+
+def drain(rig, ms=2.0):
+    rig.sim.run(until=rig.sim.now + ms * 1e6)
+
+
+class TestWrite:
+    def test_single_packet_write(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_write(qp, b"hello", region.addr, region.r_key)
+        drain(two_hosts)
+        assert len(done) == 1 and done[0].ok
+        assert region.read(region.addr, 5) == b"hello"
+
+    def test_write_at_offset(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_write(qp, b"abc", region.addr + 1000, region.r_key)
+        drain(two_hosts)
+        assert region.read(region.addr + 1000, 3) == b"abc"
+
+    def test_multi_packet_write_segmented_by_pmtu(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        payload = bytes(range(256)) * 20  # 5120 B -> 5 packets at PMTU 1024
+        sent_before = two_hosts.client.nic.packets_sent
+        two_hosts.client.post_write(qp, payload, region.addr, region.r_key)
+        drain(two_hosts)
+        assert done[0].ok
+        assert region.read(region.addr, len(payload)) == payload
+        assert two_hosts.client.nic.packets_sent - sent_before == 5
+
+    def test_zero_length_write_completes(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_write(qp, b"", region.addr, region.r_key)
+        drain(two_hosts)
+        assert done[0].ok
+
+    def test_bad_rkey_naks_and_errors_qp(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_write(qp, b"x", region.addr, region.r_key ^ 1)
+        drain(two_hosts)
+        assert done[0].status is WcStatus.REMOTE_ACCESS_ERROR
+        assert qp.state is QpState.ERROR
+
+    def test_out_of_bounds_write_naks(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_write(qp, b"x" * 64, region.end - 10, region.r_key)
+        drain(two_hosts)
+        assert done[0].status is WcStatus.REMOTE_ACCESS_ERROR
+
+    def test_permission_revocation_naks(self, two_hosts):
+        """The Mu leadership lever: flipping remote_write_allowed turns
+        a write into a REMOTE_ACCESS_ERROR for the old leader."""
+        qp, cq, sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        sqp.remote_write_allowed = False
+        two_hosts.client.post_write(qp, b"x", region.addr, region.r_key)
+        drain(two_hosts)
+        assert done[0].status is WcStatus.REMOTE_ACCESS_ERROR
+        assert region.read(region.addr, 1) == b"\x00"
+
+    def test_queued_wrs_flushed_after_error(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_write(qp, b"x", region.addr, region.r_key ^ 1)
+        for _ in range(3):
+            two_hosts.client.post_write(qp, b"y", region.addr, region.r_key)
+        drain(two_hosts)
+        statuses = [wc.status for wc in done]
+        assert statuses[0] is WcStatus.REMOTE_ACCESS_ERROR
+        assert all(s in (WcStatus.WR_FLUSH_ERROR, WcStatus.REMOTE_ACCESS_ERROR)
+                   for s in statuses)
+        assert len(done) == 4
+
+    def test_pipelined_writes_all_complete_in_order(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        for i in range(64):
+            two_hosts.client.post_write(qp, bytes([i]) * 8,
+                                        region.addr + i * 8, region.r_key)
+        drain(two_hosts, ms=5)
+        assert len(done) == 64
+        assert [wc.wr_id for wc in done] == sorted(wc.wr_id for wc in done)
+        for i in range(64):
+            assert region.read(region.addr + i * 8, 8) == bytes([i]) * 8
+
+    def test_window_respects_max_pending(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        for _ in range(40):
+            two_hosts.client.post_write(qp, b"z" * 8, region.addr, region.r_key)
+        # Run just until the CPU has posted them all to the NIC.
+        two_hosts.sim.run(until=two_hosts.sim.now + 40 * params.CPU_POST_SEND_NS + 1000)
+        assert qp.inflight <= params.MAX_PENDING_REQUESTS
+        drain(two_hosts, ms=5)
+        assert qp.inflight == 0
+
+
+class TestRead:
+    def test_read_returns_remote_bytes(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        region.write(region.addr + 64, b"remote-data")
+        local = two_hosts.client.reg_mr(4096, Access.LOCAL_WRITE, "dst")
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_read(qp, local.addr, region.addr + 64,
+                                   region.r_key, 11)
+        drain(two_hosts)
+        assert done[0].ok
+        assert local.read(local.addr, 11) == b"remote-data"
+
+    def test_large_read_spans_multiple_response_packets(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        payload = bytes(range(256)) * 16  # 4096 B -> 4 response packets
+        region.write(region.addr, payload)
+        local = two_hosts.client.reg_mr(8192, Access.LOCAL_WRITE, "dst")
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_read(qp, local.addr, region.addr,
+                                   region.r_key, len(payload))
+        drain(two_hosts)
+        assert done[0].ok
+        assert done[0].byte_len == len(payload)
+        assert local.read(local.addr, len(payload)) == payload
+
+    def test_read_without_permission_naks(self, two_hosts):
+        qp, cq, sqp, _scq, region = two_hosts.connected_qp_pair()
+        sqp.remote_read_allowed = False
+        local = two_hosts.client.reg_mr(64, Access.LOCAL_WRITE, "dst")
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_read(qp, local.addr, region.addr, region.r_key, 8)
+        drain(two_hosts)
+        assert done[0].status is WcStatus.REMOTE_ACCESS_ERROR
+
+    def test_reads_interleave_with_writes(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        local = two_hosts.client.reg_mr(64, Access.LOCAL_WRITE, "dst")
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_write(qp, b"AA", region.addr, region.r_key)
+        two_hosts.client.post_read(qp, local.addr, region.addr, region.r_key, 2)
+        two_hosts.client.post_write(qp, b"BB", region.addr, region.r_key)
+        drain(two_hosts)
+        assert [wc.ok for wc in done] == [True, True, True]
+        assert local.read(local.addr, 2) == b"AA"  # read saw the first write
+
+
+class TestSendRecv:
+    def test_send_consumes_posted_receive(self, two_hosts):
+        qp, cq, sqp, scq, _region = two_hosts.connected_qp_pair()
+        buf = two_hosts.server.reg_mr(4096, Access.LOCAL_WRITE, "rq")
+        rr_id = two_hosts.server.post_recv(sqp, buf.addr, 4096)
+        recv_done = []
+        scq.on_completion = recv_done.append
+        done = []
+        cq.on_completion = done.append
+        wr = WorkRequest(1, WrOpcode.SEND, data=b"two-sided message")
+        two_hosts.client.post_send(qp, wr)
+        drain(two_hosts)
+        assert done[0].ok
+        assert recv_done[0].wr_id == rr_id
+        assert recv_done[0].byte_len == len(b"two-sided message")
+        assert buf.read(buf.addr, 17) == b"two-sided message"
+
+    def test_send_without_receive_naks(self, two_hosts):
+        qp, cq, _sqp, _scq, _region = two_hosts.connected_qp_pair()
+        done = []
+        cq.on_completion = done.append
+        two_hosts.client.post_send(qp, WorkRequest(1, WrOpcode.SEND, data=b"x"))
+        drain(two_hosts)
+        assert not done[0].ok
+
+    def test_multi_packet_send(self, two_hosts):
+        qp, cq, sqp, scq, _region = two_hosts.connected_qp_pair()
+        buf = two_hosts.server.reg_mr(8192, Access.LOCAL_WRITE, "rq")
+        two_hosts.server.post_recv(sqp, buf.addr, 8192)
+        recv_done = []
+        scq.on_completion = recv_done.append
+        payload = b"m" * 3000
+        two_hosts.client.post_send(qp, WorkRequest(1, WrOpcode.SEND, data=payload))
+        drain(two_hosts)
+        assert recv_done and recv_done[0].byte_len == 3000
+        assert buf.read(buf.addr, 3000) == payload
+
+
+class TestCreditsAndCounters:
+    def test_credits_updated_from_acks(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        two_hosts.client.post_write(qp, b"x", region.addr, region.r_key)
+        drain(two_hosts)
+        assert 0 < qp.credits <= params.INITIAL_CREDITS
+
+    def test_packet_counters(self, two_hosts):
+        qp, cq, _sqp, _scq, region = two_hosts.connected_qp_pair()
+        base_tx = two_hosts.client.nic.packets_sent
+        base_ack = two_hosts.server.nic.acks_sent
+        two_hosts.client.post_write(qp, b"x" * 10, region.addr, region.r_key)
+        drain(two_hosts)
+        assert two_hosts.client.nic.packets_sent == base_tx + 1
+        assert two_hosts.server.nic.acks_sent == base_ack + 1

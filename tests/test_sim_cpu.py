@@ -1,0 +1,91 @@
+"""Unit tests for the single-core CPU occupancy model."""
+
+from repro.sim import Cpu, Simulator
+
+
+def test_jobs_serialize_fifo():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    done = []
+    cpu.execute(100, lambda: done.append(("a", sim.now)))
+    cpu.execute(50, lambda: done.append(("b", sim.now)))
+    sim.run()
+    assert done == [("a", 100), ("b", 150)]
+
+
+def test_busy_until_horizon():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    finish = cpu.execute(100)
+    assert finish == 100
+    assert cpu.busy_until == 100
+    finish2 = cpu.execute(10)
+    assert finish2 == 110
+
+
+def test_idle_cpu_starts_job_now():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    cpu.execute(10, lambda: None)
+    sim.run()
+    assert sim.now == 10
+    assert cpu.idle
+    finish = cpu.execute(5)
+    assert finish == 15
+
+
+def test_zero_duration_job_waits_for_queue():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    done = []
+    cpu.execute(100, lambda: done.append(sim.now))
+    cpu.execute(0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [100, 100]
+
+
+def test_negative_duration_rejected():
+    import pytest
+    sim = Simulator()
+    cpu = Cpu(sim)
+    with pytest.raises(ValueError):
+        cpu.execute(-1)
+
+
+def test_busy_time_accounting():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    cpu.execute(100)
+    cpu.execute(200)
+    sim.run()
+    assert cpu.busy_time == 300
+    assert cpu.jobs_run == 2
+
+
+def test_utilization():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    cpu.execute(100, lambda: None)
+    sim.run()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    assert sim.now == 200
+    assert abs(cpu.utilization(since=0) - 0.5) < 1e-9
+
+
+def test_callback_args_passed():
+    sim = Simulator()
+    cpu = Cpu(sim)
+    seen = []
+    cpu.execute(10, lambda a, b: seen.append((a, b)), 1, 2)
+    sim.run()
+    assert seen == [(1, 2)]
+
+
+def test_saturation_models_queueing_delay():
+    """Jobs submitted faster than service rate queue up linearly --
+    the mechanism behind Fig. 6's hockey stick."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+    finish_times = [cpu.execute(100) for _ in range(10)]
+    assert finish_times == [100 * (i + 1) for i in range(10)]

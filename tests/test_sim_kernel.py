@@ -1,0 +1,173 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.pending_events == 0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(30, seen.append, "c")
+    sim.schedule(10, seen.append, "a")
+    sim.schedule(20, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_ties_break_by_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for label in "abcde":
+        sim.schedule(5, seen.append, label)
+    sim.run()
+    assert seen == list("abcde")
+
+
+def test_zero_delay_runs_after_current_instant_fifo():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(0, seen.append, "nested")
+
+    sim.schedule(1, first)
+    sim.schedule(1, seen.append, "second")
+    sim.run()
+    assert seen == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule(10, seen.append, "x")
+    ev.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(10, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_run_until_bound_advances_clock_exactly():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run(until=50)
+    assert sim.now == 50
+    assert sim.pending_events == 1
+    sim.run(until=150)
+    assert sim.now == 150
+    assert sim.pending_events == 0
+
+
+def test_run_until_does_not_execute_future_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(100, seen.append, "later")
+    sim.run(until=99)
+    assert seen == []
+    sim.run(until=100)
+    assert seen == ["later"]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(i, seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    state = {"n": 0}
+
+    def bump():
+        state["n"] += 1
+        sim.schedule(10, bump)
+
+    sim.schedule(10, bump)
+    ok = sim.run_until(lambda: state["n"] >= 3, timeout=1_000)
+    assert ok
+    assert state["n"] == 3
+
+
+def test_run_until_predicate_timeout():
+    sim = Simulator()
+    ok = sim.run_until(lambda: False, timeout=100)
+    assert not ok
+    assert sim.now == 100
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def inner():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1, inner)
+    sim.run()
+    assert len(errors) == 1

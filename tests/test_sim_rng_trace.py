@@ -1,0 +1,92 @@
+"""Unit tests for the seeded RNG and the tracer."""
+
+from repro.sim import SeededRng, Simulator, TraceRecord, Tracer
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = SeededRng(42)
+        b = SeededRng(42)
+        assert [a.u32() for _ in range(10)] == [b.u32() for _ in range(10)]
+
+    def test_different_seeds_diverge(self):
+        a = SeededRng(1)
+        b = SeededRng(2)
+        assert [a.u32() for _ in range(10)] != [b.u32() for _ in range(10)]
+
+    def test_fork_is_deterministic(self):
+        a = SeededRng(42).fork("nic")
+        b = SeededRng(42).fork("nic")
+        assert a.u32() == b.u32()
+
+    def test_fork_labels_independent(self):
+        root = SeededRng(42)
+        assert root.fork("nic").u32() != root.fork("mem").u32()
+
+    def test_fork_isolated_from_parent_consumption(self):
+        r1 = SeededRng(42)
+        r1.u32()
+        r1.u32()
+        r2 = SeededRng(42)
+        assert r1.fork("x").u32() == r2.fork("x").u32()
+
+    def test_u24_range(self):
+        rng = SeededRng(7)
+        for _ in range(100):
+            value = rng.u24()
+            assert 0 <= value < (1 << 24)
+
+    def test_chance_extremes(self):
+        rng = SeededRng(7)
+        assert rng.chance(0.0) is False
+        assert rng.chance(1.0) is True
+
+    def test_chance_probability_roughly_respected(self):
+        rng = SeededRng(7)
+        hits = sum(rng.chance(0.3) for _ in range(10_000))
+        assert 2_700 < hits < 3_300
+
+    def test_bytes(self):
+        rng = SeededRng(7)
+        assert len(rng.bytes(16)) == 16
+        assert rng.bytes(0) == b""
+
+
+class TestTracer:
+    def test_disabled_by_default_records_nothing(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.record("nic", "tx", psn=1)
+        assert tracer.records == []
+
+    def test_enabled_records_with_time(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        sim.schedule(100, tracer.record, "nic", "tx")
+        sim.run()
+        assert len(tracer.records) == 1
+        assert tracer.records[0].time == 100
+
+    def test_filter_by_component_and_event(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        tracer.record("nic", "tx")
+        tracer.record("nic", "rx")
+        tracer.record("switch", "tx")
+        assert tracer.count("nic") == 2
+        assert tracer.count(event="tx") == 2
+        assert tracer.count("nic", "rx") == 1
+
+    def test_sink_called_live(self):
+        sim = Simulator()
+        seen = []
+        tracer = Tracer(sim, enabled=True, sink=seen.append)
+        tracer.record("a", "b")
+        assert len(seen) == 1
+        assert isinstance(seen[0], TraceRecord)
+
+    def test_record_str_is_readable(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        tracer.record("nic", "tx", psn=5)
+        assert "psn=5" in str(tracer.records[0])

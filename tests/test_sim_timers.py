@@ -1,0 +1,108 @@
+"""Unit tests for one-shot and periodic timers."""
+
+from repro.sim import PeriodicTimer, Simulator, Timer
+
+
+class TestTimer:
+    def test_fires_once_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        sim.run()
+        assert fired == [100]
+
+    def test_restart_pushes_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        sim.run(until=50)
+        timer.restart(100)
+        sim.run()
+        assert fired == [150]
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_armed_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(10)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+    def test_restart_after_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10)
+        sim.run()
+        timer.start(10)
+        sim.run()
+        assert fired == [10, 20]
+
+
+class TestPeriodicTimer:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 100, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=350)
+        assert fired == [100, 200, 300]
+
+    def test_phase_offsets_first_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 100, lambda: fired.append(sim.now))
+        timer.start(phase=7)
+        sim.run(until=250)
+        assert fired == [107, 207]
+
+    def test_stop_ends_series(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 100, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=150)
+        timer.stop()
+        sim.run(until=1_000)
+        assert fired == [100]
+
+    def test_callback_may_stop_the_timer(self):
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            if len(fired) == 2:
+                timer.stop()
+
+        timer = PeriodicTimer(sim, 100, cb)
+        timer.start()
+        sim.run(until=10_000)
+        assert fired == [100, 200]
+
+    def test_double_start_is_noop(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 100, lambda: fired.append(sim.now))
+        timer.start()
+        timer.start()
+        sim.run(until=150)
+        assert fired == [100]
+
+    def test_rejects_nonpositive_period(self):
+        sim = Simulator()
+        import pytest
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, 0, lambda: None)

@@ -1,0 +1,187 @@
+"""Tests for the state-machine replication layer."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.smr import BankLedger, Counter, KvStore, ReplicatedService
+
+MS = 1_000_000
+
+
+def make_service(machine, protocol="p4ce", num_replicas=2, **kw):
+    kw.setdefault("seed", 17)
+    cluster = Cluster.build(ClusterConfig(num_replicas=num_replicas,
+                                          protocol=protocol, **kw))
+    cluster.await_ready()
+    return cluster, ReplicatedService(cluster, machine)
+
+
+class TestKvStore:
+    def test_set_get_visible_on_all_machines(self):
+        cluster, service = make_service(KvStore)
+        client = service.new_client()
+        client.call(KvStore.set_command("k", b"v1"))
+        cluster.run_for(3 * MS)
+        for node_id, machine in service.machines.items():
+            assert machine.get("k") == b"v1"
+
+    def test_del(self):
+        cluster, service = make_service(KvStore)
+        client = service.new_client()
+        client.call(KvStore.set_command("k", b"v"))
+        client.call(KvStore.del_command("k"))
+        cluster.run_for(3 * MS)
+        assert all(m.get("k") is None for m in service.machines.values())
+
+    def test_cas_results(self):
+        cluster, service = make_service(KvStore)
+        client = service.new_client()
+        outcomes = []
+        client.call(KvStore.set_command("k", b"a"), outcomes.append)
+        client.call(KvStore.cas_command("k", b"a", b"b"), outcomes.append)
+        client.call(KvStore.cas_command("k", b"zzz", b"c"), outcomes.append)
+        cluster.run_for(3 * MS)
+        assert [o.result for o in outcomes] == [True, True, False]
+        assert all(m.get("k") == b"b" for m in service.machines.values())
+
+    def test_snapshots_agree_after_mixed_workload(self):
+        cluster, service = make_service(KvStore)
+        client = service.new_client()
+        for i in range(100):
+            if i % 7 == 3:
+                client.call(KvStore.del_command(f"key{i % 10}"))
+            else:
+                client.call(KvStore.set_command(f"key{i % 10}", bytes([i])))
+        cluster.run_for(5 * MS)
+        assert service.snapshots_agree()
+
+    @pytest.mark.parametrize("protocol", ["mu", "p4ce"])
+    def test_both_protocols(self, protocol):
+        cluster, service = make_service(KvStore, protocol=protocol)
+        client = service.new_client()
+        client.call(KvStore.set_command("proto", protocol.encode()))
+        cluster.run_for(3 * MS)
+        assert service.snapshots_agree()
+        assert service.machines[1].get("proto") == protocol.encode()
+
+
+class TestCounter:
+    def test_adds_accumulate_in_order(self):
+        cluster, service = make_service(Counter)
+        client = service.new_client()
+        results = []
+        for delta in (5, -2, 10):
+            client.call(Counter.add_command("c", delta),
+                        lambda o: results.append(o.result))
+        cluster.run_for(3 * MS)
+        assert results == [5, 3, 13]
+        assert all(m.value("c") == 13 for m in service.machines.values())
+
+
+class TestBankLedger:
+    def test_transfers_conserve_money(self):
+        cluster, service = make_service(BankLedger)
+        client = service.new_client()
+        client.call(BankLedger.deposit_command("alice", 100))
+        client.call(BankLedger.deposit_command("bob", 50))
+        for _ in range(10):
+            client.call(BankLedger.transfer_command("alice", "bob", 7))
+        cluster.run_for(5 * MS)
+        for machine in service.machines.values():
+            assert machine.total_money == 150
+            assert machine.balance("alice") == 30
+            assert machine.balance("bob") == 120
+
+    def test_overdraft_rejected_identically_everywhere(self):
+        cluster, service = make_service(BankLedger)
+        client = service.new_client()
+        outcomes = []
+        client.call(BankLedger.deposit_command("alice", 10))
+        client.call(BankLedger.transfer_command("alice", "bob", 100),
+                    outcomes.append)
+        cluster.run_for(3 * MS)
+        assert outcomes[0].result is False
+        for machine in service.machines.values():
+            assert machine.rejected == 1
+            assert machine.balance("alice") == 10
+
+
+class TestExactlyOnce:
+    def test_duplicate_sequence_applied_once(self):
+        cluster, service = make_service(Counter)
+        # Submit the same (client, sequence) twice -- as a retry would.
+        service.submit(7, 1, Counter.add_command("c", 5))
+        service.submit(7, 1, Counter.add_command("c", 5))
+        cluster.run_for(3 * MS)
+        assert all(m.value("c") == 5 for m in service.machines.values())
+
+    def test_client_survives_leader_failover(self):
+        cluster, service = make_service(Counter, num_replicas=2)
+        client = service.new_client()
+        done = []
+        for _ in range(5):
+            client.call(Counter.add_command("c", 1),
+                        lambda o: done.append(o))
+        cluster.run_for(3 * MS)
+        assert len(done) == 5
+        # Kill the leader mid-burst; the client retries through the view
+        # change with the same sequence numbers.
+        for _ in range(5):
+            client.call(Counter.add_command("c", 1),
+                        lambda o: done.append(o))
+        cluster.kill_app(0)
+        cluster.sim.run_until(lambda: len(done) >= 10, timeout=300 * MS)
+        cluster.run_for(5 * MS)
+        assert len(done) == 10
+        live = [m for m in cluster.members.values()
+                if m.role.value != "stopped"]
+        for member in live:
+            assert service.machines[member.node_id].value("c") == 10
+
+    def test_sequences_are_per_client(self):
+        cluster, service = make_service(Counter)
+        a, b = service.new_client(), service.new_client()
+        a.call(Counter.add_command("c", 1))
+        b.call(Counter.add_command("c", 1))
+        cluster.run_for(3 * MS)
+        assert all(m.value("c") == 2 for m in service.machines.values())
+
+
+class TestLeaderLease:
+    def test_lease_valid_in_steady_state(self):
+        cluster, service = make_service(KvStore)
+        client = service.new_client()
+        client.call(KvStore.set_command("k", b"v"))
+        cluster.run_for(3 * MS)
+        ok, value = service.linearizable_read(lambda m: m.get("k"))
+        assert ok and value == b"v"
+
+    def test_lease_lapses_when_leader_partitioned(self):
+        from repro.faults import FaultSchedule
+        cluster, service = make_service(KvStore)
+        cluster.run_for(2 * MS)
+        leader = cluster.leader
+        assert leader.can_serve_reads
+        FaultSchedule(cluster).injector.partition_host(leader.node_id)
+        # Within a heartbeat-miss window the lease is gone -- before any
+        # successor can have taken over.
+        cluster.run_for(1 * MS)
+        assert not leader.can_serve_reads
+        ok, _ = service.linearizable_read(lambda m: m.get("k"))
+        # Either nobody serves reads yet, or a *new* leader already does;
+        # the deposed leader never does.
+        if ok:
+            assert cluster.leader.node_id != leader.node_id
+
+    def test_new_leader_regains_lease(self):
+        cluster, service = make_service(Counter)
+        client = service.new_client()
+        client.call(Counter.add_command("c", 5))
+        cluster.run_for(3 * MS)
+        cluster.kill_app(0)
+        cluster.sim.run_until(
+            lambda: cluster.leader is not None and cluster.leader.node_id == 1,
+            timeout=300 * MS)
+        cluster.run_for(2 * MS)
+        ok, value = service.linearizable_read(lambda m: m.value("c"))
+        assert ok and value == 5

@@ -1,0 +1,240 @@
+"""Tests for the switch device: forwarding, replication, parsers, CPU port."""
+
+from repro import params
+from repro.net import (
+    AddressAllocator,
+    EthernetHeader,
+    Ipv4Address,
+    Ipv4Header,
+    MacAddress,
+    Packet,
+    Port,
+    UdpHeader,
+    connect,
+)
+from repro.sim import Simulator
+from repro.switch import (
+    IngressVerdict,
+    L3ForwardProgram,
+    MulticastCopy,
+    Switch,
+    SwitchProgram,
+)
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def handle_packet(self, port, packet):
+        self.received.append(packet)
+
+
+def make_switch(sim, num_hosts=3):
+    alloc = AddressAllocator()
+    smac, sip = alloc.switch_address()
+    switch = Switch(sim, "sw", smac, sip)
+    sinks, ips, macs = [], [], []
+    for _ in range(num_hosts):
+        mac, ip = alloc.next_host()
+        sink = Sink()
+        port = Port(sink, f"host{len(sinks)}")
+        sw_port = switch.free_port()
+        connect(sim, port, sw_port)
+        switch.add_host_route(ip, sw_port.index, mac)
+        sinks.append((sink, port))
+        ips.append(ip)
+        macs.append(mac)
+    return switch, sinks, ips, macs
+
+
+def udp_packet(src_ip, dst_ip, dst_port=9999, payload=b"hi"):
+    pkt = Packet(EthernetHeader(MacAddress(0xFE), MacAddress(0x01)),
+                 Ipv4Header(src_ip, dst_ip),
+                 UdpHeader(1234, dst_port), [], payload)
+    return pkt.finalize()
+
+
+class TestL3Forwarding:
+    def test_forwards_by_destination_ip(self):
+        sim = Simulator()
+        switch, sinks, ips, macs = make_switch(sim)
+        switch.load_program(L3ForwardProgram())
+        (sink0, port0), (sink1, _p1), _ = sinks
+        port0.send(udp_packet(ips[0], ips[1]))
+        sim.run()
+        assert len(sink1.received) == 1
+        assert sink0.received == []
+
+    def test_rewrites_macs(self):
+        sim = Simulator()
+        switch, sinks, ips, macs = make_switch(sim)
+        switch.load_program(L3ForwardProgram())
+        _, (sink1, _), _ = sinks
+        sinks[0][1].send(udp_packet(ips[0], ips[1]))
+        sim.run()
+        received = sink1.received[0]
+        assert received.eth.src == switch.mac
+        assert received.eth.dst == macs[1]
+
+    def test_unknown_destination_dropped(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(L3ForwardProgram())
+        sinks[0][1].send(udp_packet(ips[0], Ipv4Address.parse("9.9.9.9")))
+        sim.run()
+        assert switch.drops == 1
+
+    def test_pipeline_latency_applied(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(L3ForwardProgram())
+        pkt = udp_packet(ips[0], ips[1])
+        sinks[0][1].send(pkt)
+        sim.run()
+        wire = params.serialization_ns(pkt.wire_size) + params.LINK_PROPAGATION_NS
+        minimum = 2 * wire + params.SWITCH_PIPELINE_LATENCY_NS
+        assert sim.now >= minimum
+
+    def test_powered_off_switch_blackholes(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(L3ForwardProgram())
+        switch.power_off()
+        sinks[0][1].send(udp_packet(ips[0], ips[1]))
+        sim.run()
+        assert sinks[1][0].received == []
+
+
+class ReplicateProgram(SwitchProgram):
+    """Test program: multicast everything to group 1, tag rid in egress."""
+
+    name = "replicate-test"
+
+    def on_ingress(self, in_port, packet):
+        return IngressVerdict.multicast(1)
+
+    def on_egress(self, out_port, replication_id, packet):
+        packet.meta["rid_seen"] = replication_id
+        return replication_id != 99  # rid 99 is dropped in egress
+
+
+class TestReplication:
+    def test_multicast_copies_to_each_port(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(ReplicateProgram())
+        switch.multicast.create_group(1, [MulticastCopy(1, 10),
+                                          MulticastCopy(2, 11)])
+        sinks[0][1].send(udp_packet(ips[0], ips[1]))
+        sim.run()
+        assert len(sinks[1][0].received) == 1
+        assert len(sinks[2][0].received) == 1
+        assert sinks[1][0].received[0].meta["rid_seen"] == 10
+        assert sinks[2][0].received[0].meta["rid_seen"] == 11
+
+    def test_copies_are_independent_objects(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(ReplicateProgram())
+        switch.multicast.create_group(1, [MulticastCopy(1, 10),
+                                          MulticastCopy(2, 11)])
+        sinks[0][1].send(udp_packet(ips[0], ips[1]))
+        sim.run()
+        a = sinks[1][0].received[0]
+        b = sinks[2][0].received[0]
+        assert a is not b
+        assert a.eth is not b.eth
+
+    def test_egress_drop(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(ReplicateProgram())
+        switch.multicast.create_group(1, [MulticastCopy(1, 10),
+                                          MulticastCopy(2, 99)])
+        sinks[0][1].send(udp_packet(ips[0], ips[1]))
+        sim.run()
+        assert len(sinks[1][0].received) == 1
+        assert sinks[2][0].received == []
+        assert switch.drops == 1
+
+    def test_missing_group_drops(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(ReplicateProgram())
+        sinks[0][1].send(udp_packet(ips[0], ips[1]))
+        sim.run()
+        assert switch.drops == 1
+
+
+class ToCpuProgram(SwitchProgram):
+    name = "tocpu-test"
+
+    def on_ingress(self, in_port, packet):
+        return IngressVerdict.to_cpu()
+
+
+class TestCpuPort:
+    def test_redirect_reaches_handler_with_delay(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(ToCpuProgram())
+        seen = []
+        switch.cpu_handler = lambda port, pkt: seen.append((port, sim.now))
+        sinks[0][1].send(udp_packet(ips[0], ips[1]))
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0][0] == 0  # ingress port index
+        assert seen[0][1] >= params.CONTROL_PLANE_PKT_NS
+
+    def test_inject_routes_by_l3(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(L3ForwardProgram())
+        pkt = udp_packet(switch.ip, ips[2])
+        assert switch.inject(pkt) is True
+        sim.run()
+        assert len(sinks[2][0].received) == 1
+
+
+class TestParserCapacity:
+    def test_ingress_parser_serializes_packets(self):
+        """121 Mpps per parser: packets on one port queue behind each
+        other by the parser gap."""
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(L3ForwardProgram())
+        times = []
+        orig = switch._run_ingress
+
+        def spy(in_port, packet):
+            times.append(sim.now)
+            orig(in_port, packet)
+
+        switch._run_ingress = spy
+        now = sim.now
+        pkt = udp_packet(ips[0], ips[1], payload=b"")
+        # Deliver two frames at the same instant, bypassing the link.
+        switch.handle_packet(switch.ports[0], pkt)
+        switch.handle_packet(switch.ports[0], pkt.copy())
+        sim.run()
+        assert len(times) == 2
+        assert abs((times[1] - times[0]) - params.SWITCH_PARSER_GAP_NS) < 1e-6
+
+    def test_different_ports_parse_in_parallel(self):
+        sim = Simulator()
+        switch, sinks, ips, _ = make_switch(sim)
+        switch.load_program(L3ForwardProgram())
+        times = []
+        orig = switch._run_ingress
+
+        def spy(in_port, packet):
+            times.append(sim.now)
+            orig(in_port, packet)
+
+        switch._run_ingress = spy
+        pkt = udp_packet(ips[0], ips[2])
+        switch.handle_packet(switch.ports[0], pkt)
+        switch.handle_packet(switch.ports[1], pkt.copy())
+        sim.run()
+        assert times[0] == times[1]

@@ -1,0 +1,93 @@
+"""Tests for the Tofino stage-budget model and P4CE's declared layout."""
+
+import pytest
+
+from repro.p4ce.group import CommunicationGroup
+from repro.switch.resources import (
+    PipelineLayout,
+    ResourceError,
+    TOFINO1_STAGES,
+    p4ce_layout,
+)
+
+
+class TestPipelineLayout:
+    def test_stage_out_of_range_rejected(self):
+        layout = PipelineLayout()
+        layout.place("t", "table", "ingress", TOFINO1_STAGES)
+        with pytest.raises(ResourceError):
+            layout.validate()
+
+    def test_backward_dependency_rejected(self):
+        layout = PipelineLayout()
+        layout.place("producer", "register", "ingress", 5)
+        layout.place("consumer", "alu", "ingress", 3, ("producer",))
+        with pytest.raises(ResourceError):
+            layout.validate()
+
+    def test_same_stage_dependency_rejected(self):
+        layout = PipelineLayout()
+        layout.place("producer", "register", "ingress", 3)
+        layout.place("consumer", "alu", "ingress", 3, ("producer",))
+        with pytest.raises(ResourceError):
+            layout.validate()
+
+    def test_cross_gress_dependency_allowed(self):
+        layout = PipelineLayout()
+        layout.place("ing", "table", "ingress", 11)
+        layout.place("egr", "table", "egress", 0, ("ing",))
+        layout.validate()
+
+    def test_unplaced_dependency_rejected(self):
+        layout = PipelineLayout()
+        layout.place("consumer", "alu", "ingress", 3, ("ghost",))
+        with pytest.raises(ResourceError):
+            layout.validate()
+
+    def test_double_placement_rejected(self):
+        layout = PipelineLayout()
+        layout.place("t", "table", "ingress", 0)
+        with pytest.raises(ResourceError):
+            layout.place("t", "table", "ingress", 1)
+
+    def test_bad_kind_and_gress_rejected(self):
+        layout = PipelineLayout()
+        with pytest.raises(ResourceError):
+            layout.place("x", "widget", "ingress", 0)
+        with pytest.raises(ResourceError):
+            layout.place("y", "table", "sideways", 0)
+
+
+class TestP4ceLayout:
+    def test_fits_tofino1_with_8_replica_slots(self):
+        """The shipped program (8 credit registers) must be placeable --
+        this is the "most of them cannot be deployed in hardware" gate."""
+        layout = p4ce_layout(CommunicationGroup.MAX_REPLICAS)
+        layout.validate()
+        assert layout.stages_used <= TOFINO1_STAGES
+
+    def test_more_replica_slots_than_stages_rejected(self):
+        """Each credit register consumes a stage of the min-fold chain:
+        the ASIC bounds how many replicas one group can track."""
+        layout = p4ce_layout(16)
+        with pytest.raises(ResourceError):
+            layout.validate()
+
+    def test_credit_chain_is_sequential(self):
+        layout = p4ce_layout(4)
+        stages = [layout.objects[f"MinCredit[{i}]"].stage for i in range(4)]
+        assert stages == sorted(stages)
+        assert len(set(stages)) == 4
+
+    def test_numrecv_after_credit_chain(self):
+        layout = p4ce_layout(8)
+        numrecv = layout.objects["NumRecv"].stage
+        last_credit = layout.objects["MinCredit[7]"].stage
+        assert numrecv > last_credit
+
+    def test_occupancy_accounting(self):
+        layout = p4ce_layout(2)
+        ingress = layout.stage_occupancy("ingress")
+        egress = layout.stage_occupancy("egress")
+        assert sum(ingress) == len(layout.objects) - 2
+        assert sum(egress) == 2

@@ -1,0 +1,90 @@
+"""Tests for the Zipfian/uniform generators and the YCSB workload."""
+
+import pytest
+
+from repro.sim import SeededRng
+from repro.smr import KvStore
+from repro.workloads import UniformGenerator, YcsbWorkload, ZipfianGenerator
+
+
+class TestZipfian:
+    def test_values_in_range(self):
+        gen = ZipfianGenerator(100, 0.99, SeededRng(1))
+        assert all(0 <= v < 100 for v in gen.sample(5000))
+
+    def test_skew_concentrates_on_hot_keys(self):
+        gen = ZipfianGenerator(1000, 0.99, SeededRng(1))
+        samples = gen.sample(20_000)
+        hot = sum(1 for v in samples if v < 10)
+        # With theta=0.99 the top 1% of keys takes a large share.
+        assert hot / len(samples) > 0.25
+
+    def test_theta_zero_is_roughly_uniform(self):
+        gen = ZipfianGenerator(10, 0.0, SeededRng(2))
+        samples = gen.sample(20_000)
+        counts = [samples.count(i) for i in range(10)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_more_skew_with_higher_theta(self):
+        low = ZipfianGenerator(1000, 0.5, SeededRng(3))
+        high = ZipfianGenerator(1000, 0.99, SeededRng(3))
+        hot_low = sum(1 for v in low.sample(10_000) if v == 0)
+        hot_high = sum(1 for v in high.sample(10_000) if v == 0)
+        assert hot_high > hot_low
+
+    def test_deterministic(self):
+        a = ZipfianGenerator(100, 0.9, SeededRng(7)).sample(100)
+        b = ZipfianGenerator(100, 0.9, SeededRng(7)).sample(100)
+        assert a == b
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+    def test_single_key_space(self):
+        gen = ZipfianGenerator(1, 0.99, SeededRng(1))
+        assert set(gen.sample(100)) == {0}
+
+
+class TestUniform:
+    def test_range_and_coverage(self):
+        gen = UniformGenerator(5, SeededRng(1))
+        samples = {gen.next() for _ in range(500)}
+        assert samples == {0, 1, 2, 3, 4}
+
+
+class TestYcsb:
+    def test_mix_fractions(self):
+        workload = YcsbWorkload("B", keys=100, rng=SeededRng(4))
+        for _ in range(10_000):
+            workload.next_operation()
+        fraction = workload.updates / (workload.updates + workload.reads)
+        assert 0.03 < fraction < 0.07  # mix B: 5% updates
+
+    def test_mix_c_is_read_only(self):
+        workload = YcsbWorkload("C", keys=10, rng=SeededRng(4))
+        for _ in range(100):
+            kind, _key, command = workload.next_operation()
+            assert kind == "read" and command == b""
+
+    def test_update_commands_apply_to_kvstore(self):
+        workload = YcsbWorkload("W", keys=10, value_size=16, rng=SeededRng(5))
+        store = KvStore()
+        for _ in range(50):
+            kind, key, command = workload.next_operation()
+            result = store.apply(command)
+            assert result is True
+            assert len(store.get(key)) == 16
+
+    def test_load_phase_covers_all_keys(self):
+        workload = YcsbWorkload("A", keys=20, rng=SeededRng(6))
+        store = KvStore()
+        for command in workload.load_phase(20):
+            store.apply(command)
+        assert len(store.data) == 20
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload("Z")
