@@ -165,8 +165,15 @@ class Cluster:
         member.propose(payload, callback)
 
     def await_ready(self, timeout_ns: float = 2_000_000_000) -> Member:
-        """Run the simulation until a leader is serving."""
-        ok = self.sim.run_until(lambda: self.leader is not None, timeout_ns)
+        """Run the simulation until a leader is serving.
+
+        Polled every 20 us rather than after every event: the leader scan
+        walks all members, and elections span millions of events under
+        load.  Nothing times itself against the exact election instant --
+        callers only need "a leader is serving now".
+        """
+        ok = self.sim.run_until(lambda: self.leader is not None, timeout_ns,
+                                check_every=20_000)
         if not ok:
             raise RuntimeError("cluster did not elect a leader in time")
         leader = self.leader

@@ -1,0 +1,80 @@
+"""Fast-lane switches for the per-packet hot path.
+
+The simulator's behaviour (every byte, every timestamp, every metric) is
+identical with the fast lanes on or off; the flags exist so that
+``tools/bench_sim.py`` can *prove* it by running the same workload both
+ways and comparing ``events_executed`` and the packet-trace digest.
+
+Four lanes, mirroring the optimisations described in ``docs/PERF.md``:
+
+``cow_packets``
+    :meth:`repro.net.packet.Packet.copy` shares frozen headers instead of
+    eagerly deep-copying the stack (thaw-on-write).
+
+``incremental_icrc``
+    :func:`repro.rdma.icrc.compute_icrc` caches the CRC over the invariant
+    payload and recombines it with the small rewritten header prefix using
+    ``zlib.crc32``'s running form, plus a whole-result cache validated by
+    header version counters.
+
+``flow_cache``
+    The switch programs memoize their ingress match-action verdict keyed
+    on the parsed flow tuple, invalidated by control-plane table versions
+    (:class:`repro.switch.tables.FlowVerdictCache`).
+
+``kernel_hotloop``
+    :meth:`repro.sim.kernel.Simulator.run` executes events through an
+    inlined long-hand loop (no per-event helper call frame).  Off, it
+    dispatches every event through ``_execute`` -- the reference shape.
+
+All lanes default to on.  ``REPRO_FASTLANE=off`` (or ``0``/``false``)
+disables all of them for a process; ``enable()`` / ``disable()`` flip them
+at runtime (takes effect for packets processed afterwards -- benchmarks
+construct a fresh cluster per lane setting anyway).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class _Flags:
+    __slots__ = ("cow_packets", "incremental_icrc", "flow_cache",
+                 "kernel_hotloop")
+
+    def __init__(self) -> None:
+        on = os.environ.get("REPRO_FASTLANE", "on").strip().lower() not in (
+            "off", "0", "false", "no")
+        self.cow_packets = on
+        self.incremental_icrc = on
+        self.flow_cache = on
+        self.kernel_hotloop = on
+
+    def set_all(self, on: bool) -> None:
+        self.cow_packets = on
+        self.incremental_icrc = on
+        self.flow_cache = on
+        self.kernel_hotloop = on
+
+    def as_dict(self) -> dict:
+        return {
+            "cow_packets": self.cow_packets,
+            "incremental_icrc": self.incremental_icrc,
+            "flow_cache": self.flow_cache,
+            "kernel_hotloop": self.kernel_hotloop,
+        }
+
+
+#: Process-wide fast-lane switches.  Import the module and read
+#: ``fastlane.flags.<lane>`` (not ``from ... import flags``-then-rebind).
+flags = _Flags()
+
+
+def enable() -> None:
+    """Turn every fast lane on."""
+    flags.set_all(True)
+
+
+def disable() -> None:
+    """Turn every fast lane off (seed-equivalent slow path)."""
+    flags.set_all(False)

@@ -12,12 +12,15 @@ from __future__ import annotations
 class MacAddress:
     """48-bit Ethernet MAC address."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_b")
 
     def __init__(self, value: int):
         if not 0 <= value < (1 << 48):
             raise ValueError(f"MAC address out of range: {value:#x}")
         self.value = value
+        # Addresses are immutable and live for the whole simulation while
+        # their byte form is needed for every header pack/CRC: cache it.
+        self._b = value.to_bytes(6, "big")
 
     @classmethod
     def parse(cls, text: str) -> "MacAddress":
@@ -37,7 +40,7 @@ class MacAddress:
         return cls((1 << 48) - 1)
 
     def to_bytes(self) -> bytes:
-        return self.value.to_bytes(6, "big")
+        return self._b
 
     def __str__(self) -> str:
         raw = f"{self.value:012x}"
@@ -56,12 +59,13 @@ class MacAddress:
 class Ipv4Address:
     """32-bit IPv4 address."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_b")
 
     def __init__(self, value: int):
         if not 0 <= value < (1 << 32):
             raise ValueError(f"IPv4 address out of range: {value:#x}")
         self.value = value
+        self._b = value.to_bytes(4, "big")
 
     @classmethod
     def parse(cls, text: str) -> "Ipv4Address":
@@ -83,7 +87,7 @@ class Ipv4Address:
         return cls(int.from_bytes(data, "big"))
 
     def to_bytes(self) -> bytes:
-        return self.value.to_bytes(4, "big")
+        return self._b
 
     def __str__(self) -> str:
         return ".".join(str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0))

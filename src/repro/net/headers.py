@@ -5,6 +5,18 @@ Each header is a mutable object with named fields, a byte-accurate
 data path passes header *objects* between components for speed, but sizes
 and the pack/unpack codecs are exact, and the switch parser has a
 bytes-mode used by the parser tests to prove the two representations agree.
+
+All headers share the :class:`Header` base, which implements the
+copy-on-write protocol used by :meth:`repro.net.packet.Packet.copy`:
+
+* every field write bumps a per-header *version* counter, so byte-level
+  caches (packed bytes, the packet's invariant CRC) can be validated with
+  a couple of integer compares instead of re-serializing;
+* :meth:`Header.freeze` marks a header as shared between packets; writing
+  to a frozen header raises :class:`FrozenHeaderError`.  The packet
+  accessors thaw (privately copy) frozen headers on first access, so the
+  per-replica rewrite in the switch egress can never alias another
+  replica's headers.
 """
 
 from __future__ import annotations
@@ -19,20 +31,96 @@ IPPROTO_UDP = 17
 #: Ethernet frame check sequence (CRC32 trailer) size in bytes.
 ETHERNET_FCS_BYTES = 4
 
+# Precompiled codecs: the hot path packs these for every frame.
+_S_ETHERTYPE = struct.Struct("!H")
+_S_IPV4 = struct.Struct("!BBHHHBBH4s4s")
+_S_CSUM = struct.Struct("!H")
+_S_UDP = struct.Struct("!HHHH")
+_S_10H = struct.Struct("!10H")
 
-class EthernetHeader:
+
+class FrozenHeaderError(RuntimeError):
+    """A header shared by copy-on-write packet copies was written directly.
+
+    Obtain the header through its packet (``packet.eth``, ``packet.upper``,
+    ...), which thaws a private copy, instead of holding on to a header
+    reference across ``Packet.copy()``.
+    """
+
+
+_set = object.__setattr__
+
+
+class Header:
+    """Base for every header codec: versioned fields + freeze protocol.
+
+    ``_hver`` counts field writes (negative once frozen); ``_hpk`` caches
+    the last ``pack()`` result together with the version it was computed
+    at.  Subclasses implement ``_pack`` and must initialise their fields
+    through normal attribute assignment (``__init__`` calls
+    ``Header.__init__`` first to create the bookkeeping slots).
+    """
+
+    __slots__ = ("_hver", "_hpk")
+
+    def __init__(self) -> None:
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+
+    # Subclass constructors assign fields with ``_set`` (plus the two
+    # bookkeeping slots) instead of calling this __init__ and the guarded
+    # __setattr__: headers are built per packet on the hot path, and a
+    # freshly constructed header is trivially unfrozen at version 0.
+
+    def __setattr__(self, name: str, value) -> None:
+        ver = self._hver
+        if ver < 0:
+            raise FrozenHeaderError(
+                f"{type(self).__name__} is frozen (shared by a copy-on-write "
+                "packet copy); access it through the packet to get a private "
+                "thawed copy")
+        _set(self, name, value)
+        _set(self, "_hver", ver + 1)
+
+    def freeze(self) -> None:
+        """Mark the header as shared: further writes raise."""
+        ver = self._hver
+        if ver >= 0:
+            _set(self, "_hver", -ver - 1)
+
+    @property
+    def frozen(self) -> bool:
+        return self._hver < 0
+
+    def pack(self) -> bytes:
+        """Serialized bytes, cached until the next field write."""
+        cached = self._hpk
+        ver = self._hver
+        if cached is not None and cached[0] == ver:
+            return cached[1]
+        data = self._pack()
+        _set(self, "_hpk", (ver, data))
+        return data
+
+    def _pack(self) -> bytes:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class EthernetHeader(Header):
     """14-byte Ethernet II header (FCS accounted separately)."""
 
     SIZE = 14
     __slots__ = ("dst", "src", "ethertype")
 
     def __init__(self, dst: MacAddress, src: MacAddress, ethertype: int = ETHERTYPE_IPV4):
-        self.dst = dst
-        self.src = src
-        self.ethertype = ethertype
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+        _set(self, "dst", dst)
+        _set(self, "src", src)
+        _set(self, "ethertype", ethertype)
 
-    def pack(self) -> bytes:
-        return self.dst.to_bytes() + self.src.to_bytes() + struct.pack("!H", self.ethertype)
+    def _pack(self) -> bytes:
+        return self.dst.to_bytes() + self.src.to_bytes() + _S_ETHERTYPE.pack(self.ethertype)
 
     @classmethod
     def unpack(cls, data: bytes) -> "EthernetHeader":
@@ -48,7 +136,7 @@ class EthernetHeader:
         return f"Eth(dst={self.dst}, src={self.src}, type={self.ethertype:#06x})"
 
 
-class Ipv4Header:
+class Ipv4Header(Header):
     """20-byte IPv4 header (no options).
 
     ``total_length`` covers the IPv4 header plus everything above it, as on
@@ -62,17 +150,25 @@ class Ipv4Header:
     def __init__(self, src: Ipv4Address, dst: Ipv4Address, protocol: int = IPPROTO_UDP,
                  total_length: int = SIZE, ttl: int = 64, identification: int = 0,
                  dscp: int = 0):
-        self.src = src
-        self.dst = dst
-        self.protocol = protocol
-        self.total_length = total_length
-        self.ttl = ttl
-        self.identification = identification
-        self.dscp = dscp
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+        _set(self, "src", src)
+        _set(self, "dst", dst)
+        _set(self, "protocol", protocol)
+        _set(self, "total_length", total_length)
+        _set(self, "ttl", ttl)
+        _set(self, "identification", identification)
+        _set(self, "dscp", dscp)
 
     @staticmethod
     def checksum(header_bytes: bytes) -> int:
         """RFC 1071 ones-complement sum over the 20 header bytes."""
+        if len(header_bytes) == 20:
+            total = sum(_S_10H.unpack(header_bytes))
+            # Sum of ten 16-bit words fits in 20 bits: two folds suffice.
+            total = (total & 0xFFFF) + (total >> 16)
+            total = (total & 0xFFFF) + (total >> 16)
+            return (~total) & 0xFFFF
         total = 0
         for i in range(0, len(header_bytes), 2):
             total += (header_bytes[i] << 8) | header_bytes[i + 1]
@@ -80,16 +176,15 @@ class Ipv4Header:
             total = (total & 0xFFFF) + (total >> 16)
         return (~total) & 0xFFFF
 
-    def pack(self) -> bytes:
+    def _pack(self) -> bytes:
         version_ihl = (4 << 4) | 5
-        without_checksum = struct.pack(
-            "!BBHHHBBH4s4s",
+        without_checksum = _S_IPV4.pack(
             version_ihl, self.dscp << 2, self.total_length,
             self.identification, 0, self.ttl, self.protocol, 0,
             self.src.to_bytes(), self.dst.to_bytes(),
         )
         csum = self.checksum(without_checksum)
-        return without_checksum[:10] + struct.pack("!H", csum) + without_checksum[12:]
+        return without_checksum[:10] + _S_CSUM.pack(csum) + without_checksum[12:]
 
     @classmethod
     def unpack(cls, data: bytes, verify_checksum: bool = True) -> "Ipv4Header":
@@ -114,7 +209,7 @@ class Ipv4Header:
         return f"IPv4({self.src} -> {self.dst}, proto={self.protocol}, len={self.total_length})"
 
 
-class UdpHeader:
+class UdpHeader(Header):
     """8-byte UDP header.  ``length`` covers header plus payload.
 
     RoCE v2 permits a zero UDP checksum; we follow that convention, so the
@@ -125,12 +220,14 @@ class UdpHeader:
     __slots__ = ("src_port", "dst_port", "length")
 
     def __init__(self, src_port: int, dst_port: int, length: int = SIZE):
-        self.src_port = src_port
-        self.dst_port = dst_port
-        self.length = length
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+        _set(self, "src_port", src_port)
+        _set(self, "dst_port", dst_port)
+        _set(self, "length", length)
 
-    def pack(self) -> bytes:
-        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+    def _pack(self) -> bytes:
+        return _S_UDP.pack(self.src_port, self.dst_port, self.length, 0)
 
     @classmethod
     def unpack(cls, data: bytes) -> "UdpHeader":

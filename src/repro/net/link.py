@@ -22,6 +22,11 @@ from .. import params
 from ..sim import SeededRng, Simulator
 from .packet import Packet
 
+# Ethernet wire constants hoisted for the transmit() fast path.  These are
+# physical-layer invariants, never reconfigured at runtime.
+_MIN_FRAME = params.ETHERNET_MIN_FRAME_BYTES
+_WIRE_OVERHEAD = params.ETHERNET_WIRE_OVERHEAD_BYTES
+
 
 class PacketSink(Protocol):
     """Any device that can receive packets from one of its ports."""
@@ -79,6 +84,19 @@ class DirectionStats:
         return {"frames": self.frames, "bytes": self.bytes, "dropped": self.dropped}
 
 
+class _Direction:
+    """Per-direction transmitter state: destination port, FIFO horizon,
+    counters.  Resolved from the source port with one identity compare in
+    :meth:`Link.transmit` -- the hottest call in the simulator."""
+
+    __slots__ = ("dst", "stats", "busy_until")
+
+    def __init__(self, dst: Port) -> None:
+        self.dst = dst
+        self.stats = DirectionStats()
+        self.busy_until = 0.0
+
+
 class Link:
     """Full-duplex cable between two ports."""
 
@@ -98,9 +116,11 @@ class Link:
         self.up = True
         self.drop_probability = 0.0
         self._rng = rng or SeededRng(0)
-        # Per-direction transmitter horizon (FIFO serialization queue).
-        self._busy_until: Dict[int, float] = {id(a): 0.0, id(b): 0.0}
-        self.stats: Dict[int, DirectionStats] = {id(a): DirectionStats(), id(b): DirectionStats()}
+        # Per-direction transmitter state (FIFO serialization queue).
+        self._dir_a = _Direction(b)
+        self._dir_b = _Direction(a)
+        self.stats: Dict[int, DirectionStats] = {
+            id(a): self._dir_a.stats, id(b): self._dir_b.stats}
         #: Optional tap called for every frame accepted for transmission
         #: (packet captures in tests and the fault injector).
         self.tap: Optional[Callable[[Port, Packet], Any]] = None
@@ -119,7 +139,8 @@ class Link:
 
     def queue_delay(self, src: Port) -> float:
         """Time a frame submitted now would wait before serialization."""
-        return max(0.0, self._busy_until[id(src)] - self._sim.now)
+        d = self._dir_a if src is self.a else self._dir_b
+        return max(0.0, d.busy_until - self._sim.now)
 
     def transmit(self, src: Port, packet: Packet) -> bool:
         """Serialize a frame from ``src`` toward the opposite port.
@@ -127,29 +148,47 @@ class Link:
         Returns True if the frame was accepted by the transmitter (it may
         still be lost in flight when the link is down or lossy -- like a
         real cable, acceptance is not delivery).
+
+        This is the hottest per-frame call in the simulator, so the
+        direction state is one identity compare away and the
+        serialization arithmetic is open-coded (term for term the same
+        expression as :func:`params.serialization_ns`, so timing is
+        bit-identical to computing it through the helper).
         """
-        dst = self.other_end(src)
-        stats = self.stats[id(src)]
-        start = max(self._busy_until[id(src)], self._sim.now)
-        finish = start + self.serialization_ns(packet)
-        self._busy_until[id(src)] = finish
+        if src is self.a:
+            d = self._dir_a
+        elif src is self.b:
+            d = self._dir_b
+        else:
+            raise ValueError(f"{src!r} is not an end of {self.name}")
+        stats = d.stats
+        wire_size = packet.wire_size
+        now = self._sim._now  # raw clock read; transmit runs per frame
+        busy = d.busy_until
+        start = busy if busy > now else now
+        on_wire = wire_size if wire_size > _MIN_FRAME else _MIN_FRAME
+        finish = start + (on_wire + _WIRE_OVERHEAD) * 8 * 1e9 / self.rate_bps
+        d.busy_until = finish
         stats.frames += 1
-        stats.bytes += packet.wire_size
+        stats.bytes += wire_size
         if self.tap is not None:
             self.tap(src, packet)
         if not self.up or (self.drop_probability > 0.0
                            and self._rng.chance(self.drop_probability)):
             stats.dropped += 1
             return True
-        self._sim.schedule_at(finish + self.propagation_ns, self._deliver, dst, packet)
+        self._sim.schedule_at(finish + self.propagation_ns, self._deliver, d, packet)
         return True
 
-    def _deliver(self, dst: Port, packet: Packet) -> None:
+    def _deliver(self, d: "_Direction", packet: Packet) -> None:
         if not self.up:
             # The link went down while the frame was in flight.
-            self.stats[id(self.other_end(dst))].dropped += 1
+            d.stats.dropped += 1
             return
-        dst.deliver(packet)
+        dst = d.dst
+        device = dst.device
+        if device is not None:
+            device.handle_packet(dst, packet)
 
     # -- fault injection ------------------------------------------------------
 

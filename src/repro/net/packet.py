@@ -9,16 +9,43 @@ is derived from the same header sizes the codecs use.
 ``meta`` is simulation-side bookkeeping (ingress port, multicast replica
 id, ...) and does not exist on the wire; nothing in ``meta`` may carry
 protocol-visible information.
+
+Copy-on-write
+-------------
+
+``copy()`` is what the switch replication engine calls once per multicast
+replica.  Instead of deep-copying the header stack it *freezes* the shared
+headers (see :class:`repro.net.headers.Header`) and hands out a clone that
+references them; the first access to a header slot through the packet
+(``packet.eth``, ``packet.upper``, ...) thaws a private copy.  Rewriting
+replica *i*'s headers therefore can never alias replica *j* or the
+original -- the same guarantee the old eager deep copy gave -- while
+replicas whose headers are never touched pay nothing.  Holding a direct
+header reference across ``copy()`` and writing through it raises
+:class:`~repro.net.headers.FrozenHeaderError` instead of silently
+corrupting the other replicas.
+
+The fast lane can be disabled (``repro.fastlane``), which restores the
+seed's eager deep copy -- bit-for-bit identical behaviour, used by
+``tools/bench_sim.py`` to prove determinism.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Protocol
 
+from .. import fastlane
 from .headers import ETHERNET_FCS_BYTES, EthernetHeader, Ipv4Header, UdpHeader
 
 #: RoCE invariant CRC trailer size in bytes.
 ICRC_BYTES = 4
+
+#: Bits of ``Packet._shared`` marking which slots still alias another packet.
+_SH_ETH = 1
+_SH_IPV4 = 2
+_SH_UDP = 4
+_SH_UPPER = 8
+_SH_ALL = _SH_ETH | _SH_IPV4 | _SH_UDP | _SH_UPPER
 
 
 class UpperHeader(Protocol):
@@ -28,40 +55,119 @@ class UpperHeader(Protocol):
 
     def pack(self) -> bytes: ...
     def copy(self) -> "UpperHeader": ...
+    def freeze(self) -> None: ...
 
 
 class Packet:
     """One Ethernet frame in flight."""
 
-    __slots__ = ("eth", "ipv4", "udp", "upper", "payload", "has_icrc", "meta")
+    __slots__ = ("_eth", "_ipv4", "_udp", "_upper", "_payload", "has_icrc",
+                 "meta", "_shared", "_upper_size", "_payload_crc", "_icrc_state")
 
     def __init__(self, eth: EthernetHeader, ipv4: Optional[Ipv4Header] = None,
                  udp: Optional[UdpHeader] = None,
                  upper: Optional[List[UpperHeader]] = None,
                  payload: bytes = b"", has_icrc: bool = False):
-        self.eth = eth
-        self.ipv4 = ipv4
-        self.udp = udp
-        self.upper: List[UpperHeader] = upper if upper is not None else []
-        self.payload = payload
+        self._eth = eth
+        self._ipv4 = ipv4
+        self._udp = udp
+        self._upper: List[UpperHeader] = upper if upper is not None else []
+        self._payload = payload
         self.has_icrc = has_icrc
         self.meta: Dict[str, Any] = {}
+        #: Copy-on-write bookkeeping: which slots alias another packet.
+        self._shared = 0
+        #: ``(len(upper), size)`` cache for :attr:`upper_size`.
+        self._upper_size: Optional[tuple] = None
+        #: ``(payload_object, crc32)`` cache used by the incremental ICRC.
+        self._payload_crc: Optional[tuple] = None
+        #: Cached invariant-CRC state, owned by :mod:`repro.rdma.icrc`.
+        self._icrc_state: Optional[tuple] = None
+
+    # -- copy-on-write accessors ----------------------------------------------
+
+    @property
+    def eth(self) -> EthernetHeader:
+        if self._shared & _SH_ETH:
+            self._shared &= ~_SH_ETH
+            self._eth = self._eth.copy()
+        return self._eth
+
+    @eth.setter
+    def eth(self, value: EthernetHeader) -> None:
+        self._shared &= ~_SH_ETH
+        self._eth = value
+
+    @property
+    def ipv4(self) -> Optional[Ipv4Header]:
+        if self._shared & _SH_IPV4:
+            self._shared &= ~_SH_IPV4
+            if self._ipv4 is not None:
+                self._ipv4 = self._ipv4.copy()
+        return self._ipv4
+
+    @ipv4.setter
+    def ipv4(self, value: Optional[Ipv4Header]) -> None:
+        self._shared &= ~_SH_IPV4
+        self._ipv4 = value
+
+    @property
+    def udp(self) -> Optional[UdpHeader]:
+        if self._shared & _SH_UDP:
+            self._shared &= ~_SH_UDP
+            if self._udp is not None:
+                self._udp = self._udp.copy()
+        return self._udp
+
+    @udp.setter
+    def udp(self, value: Optional[UdpHeader]) -> None:
+        self._shared &= ~_SH_UDP
+        self._udp = value
+
+    @property
+    def upper(self) -> List[UpperHeader]:
+        if self._shared & _SH_UPPER:
+            self._shared &= ~_SH_UPPER
+            self._upper = [h.copy() for h in self._upper]
+        return self._upper
+
+    @upper.setter
+    def upper(self, value: List[UpperHeader]) -> None:
+        self._shared &= ~_SH_UPPER
+        self._upper = value
+        self._upper_size = None
+
+    @property
+    def payload(self) -> bytes:
+        return self._payload
+
+    @payload.setter
+    def payload(self, value: bytes) -> None:
+        self._payload = value
+        self._upper_size = self._upper_size  # sizes depend on payload length only
+        self._payload_crc = None
 
     # -- sizes ----------------------------------------------------------------
 
     @property
     def upper_size(self) -> int:
-        return sum(h.SIZE for h in self.upper)
+        upper = self._upper
+        cached = self._upper_size
+        if cached is not None and cached[0] == len(upper):
+            return cached[1]
+        size = sum(h.SIZE for h in upper)
+        self._upper_size = (len(upper), size)
+        return size
 
     @property
     def l3_size(self) -> int:
         """Bytes from the IPv4 header to the end of the payload/ICRC."""
-        size = len(self.payload) + self.upper_size
+        size = len(self._payload) + self.upper_size
         if self.has_icrc:
             size += ICRC_BYTES
-        if self.udp is not None:
+        if self._udp is not None:
             size += UdpHeader.SIZE
-        if self.ipv4 is not None:
+        if self._ipv4 is not None:
             size += Ipv4Header.SIZE
         return size
 
@@ -82,24 +188,28 @@ class Packet:
         Must be called after any change to the upper headers or payload and
         before :meth:`pack` (the switch egress calls it after rewriting).
         """
-        body = len(self.payload) + self.upper_size + (ICRC_BYTES if self.has_icrc else 0)
-        if self.udp is not None:
-            self.udp.length = UdpHeader.SIZE + body
+        body = len(self._payload) + self.upper_size + (ICRC_BYTES if self.has_icrc else 0)
+        if self._udp is not None:
+            udp = self.udp  # thaw before writing
+            if udp.length != UdpHeader.SIZE + body:
+                udp.length = UdpHeader.SIZE + body
             body += UdpHeader.SIZE
-        if self.ipv4 is not None:
-            self.ipv4.total_length = Ipv4Header.SIZE + body
+        if self._ipv4 is not None:
+            ipv4 = self.ipv4
+            if ipv4.total_length != Ipv4Header.SIZE + body:
+                ipv4.total_length = Ipv4Header.SIZE + body
         return self
 
     def pack(self) -> bytes:
         """Serialize to wire bytes (without preamble/IFG/FCS)."""
-        parts = [self.eth.pack()]
-        if self.ipv4 is not None:
-            parts.append(self.ipv4.pack())
-        if self.udp is not None:
-            parts.append(self.udp.pack())
-        for header in self.upper:
+        parts = [self._eth.pack()]
+        if self._ipv4 is not None:
+            parts.append(self._ipv4.pack())
+        if self._udp is not None:
+            parts.append(self._udp.pack())
+        for header in self._upper:
             parts.append(header.pack())
-        parts.append(self.payload)
+        parts.append(self._payload)
         if self.has_icrc:
             parts.append(b"\x00" * ICRC_BYTES)  # ICRC value modelled separately
         return b"".join(parts)
@@ -109,40 +219,64 @@ class Packet:
         """Parse Ethernet/IPv4/UDP; upper layers stay in ``payload``.
 
         The RoCE codecs in :mod:`repro.rdma.headers` take over from the UDP
-        payload; this keeps the net layer independent of RDMA.
+        payload; this keeps the net layer independent of RDMA.  Parsing is
+        zero-copy until the tail: headers are unpacked through a
+        ``memoryview`` so each layer reads its own bytes instead of
+        re-slicing (and re-copying) the whole remainder of the frame.
         """
-        eth = EthernetHeader.unpack(data)
+        view = memoryview(data)
+        eth = EthernetHeader.unpack(view)
         offset = EthernetHeader.SIZE
         ipv4: Optional[Ipv4Header] = None
         udp: Optional[UdpHeader] = None
         if eth.ethertype == 0x0800:
-            ipv4 = Ipv4Header.unpack(data[offset:])
+            ipv4 = Ipv4Header.unpack(view[offset:])
             offset += Ipv4Header.SIZE
             if ipv4.protocol == 17:
-                udp = UdpHeader.unpack(data[offset:])
+                udp = UdpHeader.unpack(view[offset:])
                 offset += UdpHeader.SIZE
-        return cls(eth, ipv4, udp, payload=bytes(data[offset:]))
+        return cls(eth, ipv4, udp, payload=bytes(view[offset:]))
 
     # -- duplication ------------------------------------------------------------
 
     def copy(self) -> "Packet":
-        """Deep-copy headers, share the (immutable) payload bytes.
+        """Copy-on-write duplicate: headers are shared (frozen) until first
+        access through either packet; the (immutable) payload bytes are
+        always shared.
 
         This is what the switch replication engine does: each egress copy
-        gets private headers so per-replica rewriting cannot alias.
+        gets private headers -- materialized lazily -- so per-replica
+        rewriting cannot alias.
         """
-        clone = Packet(
-            self.eth.copy(),
-            self.ipv4.copy() if self.ipv4 is not None else None,
-            self.udp.copy() if self.udp is not None else None,
-            [h.copy() for h in self.upper],
-            self.payload,
-            self.has_icrc,
-        )
+        if not fastlane.flags.cow_packets:
+            clone = Packet(
+                self._eth.copy(),
+                self._ipv4.copy() if self._ipv4 is not None else None,
+                self._udp.copy() if self._udp is not None else None,
+                [h.copy() for h in self.upper],
+                self._payload,
+                self.has_icrc,
+            )
+            clone.meta = dict(self.meta)
+            return clone
+        self._eth.freeze()
+        if self._ipv4 is not None:
+            self._ipv4.freeze()
+        if self._udp is not None:
+            self._udp.freeze()
+        for header in self._upper:
+            header.freeze()
+        clone = Packet(self._eth, self._ipv4, self._udp, self._upper,
+                       self._payload, self.has_icrc)
+        clone._shared = _SH_ALL
+        self._shared = _SH_ALL
         clone.meta = dict(self.meta)
+        clone._upper_size = self._upper_size
+        clone._payload_crc = self._payload_crc
+        clone._icrc_state = self._icrc_state
         return clone
 
     def __repr__(self) -> str:
-        stack = [type(h).__name__ for h in self.upper]
-        return (f"Packet(eth={self.eth!r}, ipv4={self.ipv4!r}, udp={self.udp!r}, "
-                f"upper={stack}, payload={len(self.payload)}B)")
+        stack = [type(h).__name__ for h in self._upper]
+        return (f"Packet(eth={self._eth!r}, ipv4={self._ipv4!r}, udp={self._udp!r}, "
+                f"upper={stack}, payload={len(self._payload)}B)")

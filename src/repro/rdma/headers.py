@@ -23,13 +23,25 @@ from __future__ import annotations
 import struct
 from typing import List, Optional, Tuple
 
+from ..net.headers import Header, _set
 from .opcodes import AETH_OPCODES, Opcode, RETH_OPCODES
 
 PSN_MASK = 0xFFFFFF
 QPN_MASK = 0xFFFFFF
 
+# Precompiled codecs (packed per packet on the hot path).
+_S_BTH = struct.Struct("!BBHII")
+_S_RETH = struct.Struct("!QII")
+_S_AETH = struct.Struct("!I")
+_S_ATOMIC = struct.Struct("!QIQQ")
+_S_ATOMIC_ACK = struct.Struct("!Q")
 
-class Bth:
+# Constructors assign with ``_set`` (see repro.net.headers.Header): these
+# codecs are built once per packet on the hot path, and the guarded
+# __setattr__ only needs to see post-construction mutations.
+
+
+class Bth(Header):
     """Base Transport Header (12 bytes)."""
 
     SIZE = 12
@@ -38,18 +50,20 @@ class Bth:
     def __init__(self, opcode: Opcode, dest_qp: int, psn: int,
                  ack_req: bool = False, solicited: bool = False,
                  partition_key: int = 0xFFFF):
-        self.opcode = Opcode(opcode)
-        self.dest_qp = dest_qp & QPN_MASK
-        self.psn = psn & PSN_MASK
-        self.ack_req = ack_req
-        self.solicited = solicited
-        self.partition_key = partition_key
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+        _set(self, "opcode",
+             opcode if type(opcode) is Opcode else Opcode(opcode))
+        _set(self, "dest_qp", dest_qp & QPN_MASK)
+        _set(self, "psn", psn & PSN_MASK)
+        _set(self, "ack_req", ack_req)
+        _set(self, "solicited", solicited)
+        _set(self, "partition_key", partition_key)
 
-    def pack(self) -> bytes:
+    def _pack(self) -> bytes:
         flags = 0x40 if self.solicited else 0  # SE bit | MigReq | PadCnt | TVer
         ack_psn = ((1 << 31) if self.ack_req else 0) | self.psn
-        return struct.pack("!BBHI I",
-                           int(self.opcode), flags, self.partition_key,
+        return _S_BTH.pack(int(self.opcode), flags, self.partition_key,
                            self.dest_qp, ack_psn)
 
     @classmethod
@@ -70,19 +84,21 @@ class Bth:
                 f"{', ackreq' if self.ack_req else ''})")
 
 
-class Reth:
+class Reth(Header):
     """RDMA Extended Transport Header (16 bytes): VA, R_key, DMA length."""
 
     SIZE = 16
     __slots__ = ("virtual_address", "r_key", "dma_length")
 
     def __init__(self, virtual_address: int, r_key: int, dma_length: int):
-        self.virtual_address = virtual_address
-        self.r_key = r_key
-        self.dma_length = dma_length
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+        _set(self, "virtual_address", virtual_address)
+        _set(self, "r_key", r_key)
+        _set(self, "dma_length", dma_length)
 
-    def pack(self) -> bytes:
-        return struct.pack("!QII", self.virtual_address, self.r_key, self.dma_length)
+    def _pack(self) -> bytes:
+        return _S_RETH.pack(self.virtual_address, self.r_key, self.dma_length)
 
     @classmethod
     def unpack(cls, data: bytes) -> "Reth":
@@ -98,7 +114,7 @@ class Reth:
         return f"RETH(va={self.virtual_address:#x}, rkey={self.r_key:#x}, len={self.dma_length})"
 
 
-class Aeth:
+class Aeth(Header):
     """ACK Extended Transport Header (4 bytes): syndrome + MSN."""
 
     SIZE = 4
@@ -107,11 +123,13 @@ class Aeth:
     def __init__(self, syndrome: int, msn: int):
         if not 0 <= syndrome < 256:
             raise ValueError("syndrome must fit in 8 bits")
-        self.syndrome = syndrome
-        self.msn = msn & PSN_MASK
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+        _set(self, "syndrome", syndrome)
+        _set(self, "msn", msn & PSN_MASK)
 
-    def pack(self) -> bytes:
-        return struct.pack("!I", (self.syndrome << 24) | self.msn)
+    def _pack(self) -> bytes:
+        return _S_AETH.pack((self.syndrome << 24) | self.msn)
 
     @classmethod
     def unpack(cls, data: bytes) -> "Aeth":
@@ -127,7 +145,7 @@ class Aeth:
         return f"AETH(syndrome={self.syndrome:#04x}, msn={self.msn})"
 
 
-class AtomicEth:
+class AtomicEth(Header):
     """Atomic Extended Transport Header (28 bytes): VA, R_key, operands.
 
     Carried by COMPARE_SWAP and FETCH_ADD requests.  For CAS,
@@ -140,13 +158,15 @@ class AtomicEth:
 
     def __init__(self, virtual_address: int, r_key: int, swap_or_add: int,
                  compare: int = 0):
-        self.virtual_address = virtual_address
-        self.r_key = r_key
-        self.swap_or_add = swap_or_add & 0xFFFFFFFFFFFFFFFF
-        self.compare = compare & 0xFFFFFFFFFFFFFFFF
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+        _set(self, "virtual_address", virtual_address)
+        _set(self, "r_key", r_key)
+        _set(self, "swap_or_add", swap_or_add & 0xFFFFFFFFFFFFFFFF)
+        _set(self, "compare", compare & 0xFFFFFFFFFFFFFFFF)
 
-    def pack(self) -> bytes:
-        return struct.pack("!QIQQ", self.virtual_address, self.r_key,
+    def _pack(self) -> bytes:
+        return _S_ATOMIC.pack(self.virtual_address, self.r_key,
                            self.swap_or_add, self.compare)
 
     @classmethod
@@ -165,17 +185,19 @@ class AtomicEth:
                 f"swap/add={self.swap_or_add}, cmp={self.compare})")
 
 
-class AtomicAckEth:
+class AtomicAckEth(Header):
     """Atomic ACK Extended Transport Header (8 bytes): the original value."""
 
     SIZE = 8
     __slots__ = ("original",)
 
     def __init__(self, original: int):
-        self.original = original & 0xFFFFFFFFFFFFFFFF
+        _set(self, "_hver", 0)
+        _set(self, "_hpk", None)
+        _set(self, "original", original & 0xFFFFFFFFFFFFFFFF)
 
-    def pack(self) -> bytes:
-        return struct.pack("!Q", self.original)
+    def _pack(self) -> bytes:
+        return _S_ATOMIC_ACK.pack(self.original)
 
     @classmethod
     def unpack(cls, data: bytes) -> "AtomicAckEth":

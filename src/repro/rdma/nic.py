@@ -262,7 +262,10 @@ class RNic:
     def _tx(self, packet: Packet) -> None:
         if not self.powered:
             return
-        start = max(self._tx_busy_until, self.sim.now)
+        # Raw clock read (sim._now): _tx runs once per transmitted frame.
+        now = self.sim._now
+        busy = self._tx_busy_until
+        start = busy if busy > now else now
         finish = start + params.NIC_PACKET_GAP_NS
         self._tx_busy_until = finish
         self.sim.schedule_at(finish + params.NIC_TX_LATENCY_NS, self._emit, packet)
@@ -284,7 +287,9 @@ class RNic:
         if self._rx_inflight >= self.rx_queue_limit:
             self.rx_dropped += 1
             return
-        start = max(self._rx_busy_until, self.sim.now)
+        now = self.sim._now
+        busy = self._rx_busy_until
+        start = busy if busy > now else now
         finish = start + self.rx_gap_ns
         self._rx_busy_until = finish
         self._rx_inflight += 1

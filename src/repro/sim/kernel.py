@@ -11,32 +11,56 @@ Design notes
   executes millions of events, and plain callables with pre-bound arguments
   are both faster and easier to reason about than generator trampolines.
 * Cancellation is O(1): cancelled events stay in the heap but carry a
-  tombstone flag and are skipped on pop.
+  tombstone flag and are skipped on pop.  A live ``pending_events`` counter
+  (maintained on schedule/cancel/execute) keeps the pending count O(1) too,
+  instead of scanning the heap.
+* The heap stores ``(time, seq, event)`` tuples so ordering is resolved by
+  C-level tuple comparison instead of a Python ``__lt__`` per sift step.
+* Events scheduled at exactly the current instant (zero-delay
+  ``call_soon`` chains) bypass the heap through a same-timestamp FIFO
+  deque.  This is safe because every event already *in* the heap at the
+  current timestamp was scheduled earlier (lower ``seq``) and therefore
+  must -- and does -- run first; events appended to the FIFO while the
+  clock sits at ``now`` carry strictly larger sequence numbers.
 * The kernel knows nothing about networks, NICs or switches; those are
-  modelled as objects holding a reference to the kernel.
+  modelled as objects holding a reference to the kernel.  For diagnostics
+  it can optionally count executed events per callback qualname
+  (``profile_components`` / ``component_counts``).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .. import fastlane
 
 
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        #: Owning simulator while the event is pending; cleared on
+        #: execution so a late cancel() cannot corrupt the live counter.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._pending -= 1
+                self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -58,10 +82,19 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
+        #: Same-timestamp FIFO: events scheduled at exactly ``now``.
+        #: Invariant: every queued event's time equals the current clock,
+        #: so the deque is always drained before the clock advances.
+        self._soon: Deque[Event] = deque()
         self._seq: int = 0
         self._running = False
         self._event_count: int = 0
+        self._pending: int = 0
+        #: When True, executed events are tallied per callback qualname in
+        #: :attr:`component_counts` (cheap bool check per event when off).
+        self.profile_components: bool = False
+        self.component_counts: Dict[str, int] = {}
 
     # -- clock --------------------------------------------------------------
 
@@ -77,10 +110,14 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-fired, not-cancelled events.  O(1)."""
+        return self._pending
 
     # -- scheduling ---------------------------------------------------------
+
+    # schedule() and schedule_at() share their body by hand: one extra
+    # Python call frame per scheduled event is measurable at the event
+    # rates the benchmarks run.
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now.
@@ -90,17 +127,34 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        return self.schedule_at(self._now + delay, fn, *args)
+        now = self._now
+        time = now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        self._pending += 1
+        if time == now:
+            self._soon.append(event)
+        else:
+            heapq.heappush(self._heap, (time, seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated time ``time``."""
-        if time < self._now:
+        now = self._now
+        if time < now:
             raise SimulationError(
-                f"cannot schedule at t={time} ns; clock is already at {self._now} ns"
+                f"cannot schedule at t={time} ns; clock is already at {now} ns"
             )
-        event = Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        self._pending += 1
+        if time == now:
+            # Zero-delay fast lane: no heap churn for call_soon chains.
+            self._soon.append(event)
+        else:
+            heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
@@ -109,17 +163,37 @@ class Simulator:
 
     # -- execution ----------------------------------------------------------
 
+    def _profile(self, event: Event) -> None:
+        key = getattr(event.fn, "__qualname__", None) or repr(event.fn)
+        counts = self.component_counts
+        counts[key] = counts.get(key, 0) + 1
+
+    def _execute(self, event: Event) -> None:
+        self._pending -= 1
+        self._event_count += 1
+        event._sim = None
+        if self.profile_components:
+            self._profile(event)
+        event.fn(*event.args)
+
     def step(self) -> bool:
         """Run the single next event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._event_count += 1
-            event.fn(*event.args)
+        soon = self._soon
+        heap = self._heap
+        while True:
+            if soon and (not heap or heap[0][0] > self._now):
+                event = soon.popleft()
+                if event.cancelled:
+                    continue
+            elif heap:
+                time, _seq, event = heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self._now = time
+            else:
+                return False
+            self._execute(event)
             return True
-        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -132,22 +206,46 @@ class Simulator:
             raise SimulationError("run() is not re-entrant")
         self._running = True
         executed = 0
+        soon = self._soon
+        heap = self._heap
+        heappop = heapq.heappop
+        bounded = max_events is not None
+        profiled = self.profile_components
+        # Fast lane: execute inline, saving one Python call frame per
+        # event.  Slow lane dispatches through _execute -- the reference
+        # shape -- so the bench can measure the inlining honestly.
+        inline = fastlane.flags.kernel_hotloop and not profiled
         try:
-            while self._heap:
-                if max_events is not None and executed >= max_events:
+            # The hot loop is written long-hand (no shared pop function)
+            # on purpose: at benchmark event rates every per-event frame
+            # is a few percent of whole-run wall clock.
+            while soon or heap:
+                if bounded and executed >= max_events:
                     return
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    self._now = until
-                    return
-                heapq.heappop(self._heap)
-                self._now = event.time
-                self._event_count += 1
+                if soon and (not heap or heap[0][0] > self._now):
+                    event = soon.popleft()
+                    if event.cancelled:
+                        continue
+                else:
+                    entry = heap[0]
+                    event = entry[2]
+                    if event.cancelled:
+                        heappop(heap)
+                        continue
+                    if until is not None and entry[0] > until:
+                        if until > self._now:
+                            self._now = until
+                        return
+                    heappop(heap)
+                    self._now = entry[0]
+                if inline:
+                    self._pending -= 1
+                    self._event_count += 1
+                    event._sim = None
+                    event.fn(*event.args)
+                else:
+                    self._execute(event)
                 executed += 1
-                event.fn(*event.args)
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -167,25 +265,37 @@ class Simulator:
                 if predicate():
                     return True
                 self.run(until=min(self._now + check_every, deadline))
-                if not self._heap and not predicate():
+                if self._pending == 0:
+                    # Nothing left that could flip the predicate: returning
+                    # now (instead of spinning to the deadline in
+                    # check_every-sized steps) is the only honest answer.
                     return predicate()
             return predicate()
+        soon = self._soon
+        heap = self._heap
         while self._now <= deadline:
             if predicate():
                 return True
             event_ran = False
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if event.time > deadline:
-                    self._now = deadline
-                    return predicate()
-                heapq.heappop(self._heap)
-                self._now = event.time
-                self._event_count += 1
-                event.fn(*event.args)
+            while True:
+                if soon and (not heap or heap[0][0] > self._now):
+                    event = soon.popleft()
+                    if event.cancelled:
+                        continue
+                elif heap:
+                    entry = heap[0]
+                    event = entry[2]
+                    if event.cancelled:
+                        heapq.heappop(heap)
+                        continue
+                    if entry[0] > deadline:
+                        self._now = deadline
+                        return predicate()
+                    heapq.heappop(heap)
+                    self._now = entry[0]
+                else:
+                    break
+                self._execute(event)
                 event_ran = True
                 break
             if not event_ran:

@@ -165,7 +165,11 @@ class Switch:
             return
         index = port.index
         self.counters[index].rx_frames += 1
-        start = max(self._ingress_parser_busy[index], self.sim.now)
+        # Raw clock reads (sim._now) on the per-frame path: the property
+        # indirection costs a visible fraction of hot-loop time.
+        now = self.sim._now
+        busy = self._ingress_parser_busy[index]
+        start = busy if busy > now else now
         done = start + self.parser_gap_ns
         self._ingress_parser_busy[index] = done
         packet.meta["ingress_port"] = index
@@ -187,7 +191,7 @@ class Switch:
                 self.sim.schedule(params.CONTROL_PLANE_PKT_NS,
                                   self.cpu_handler, in_port, packet)
             return
-        tm_time = self.sim.now + self.pipeline_latency_ns / 2
+        tm_time = self.sim._now + self.pipeline_latency_ns / 2
         if verdict.kind is VerdictKind.UNICAST:
             self._to_egress(verdict.egress_port, 0, packet, tm_time)
             return
@@ -195,8 +199,12 @@ class Switch:
         if copies is None:
             self.drops += 1
             return
-        for copy in copies:
-            replica = packet.copy()
+        # The original packet is consumed by replication (only the copies
+        # continue through the pipeline), so the last replica can reuse it
+        # instead of paying for one more copy.
+        last = len(copies) - 1
+        for i, copy in enumerate(copies):
+            replica = packet if i == last else packet.copy()
             replica.meta["replication_id"] = copy.replication_id
             self._to_egress(copy.egress_port, copy.replication_id, replica, tm_time)
 
@@ -205,7 +213,8 @@ class Switch:
         if not 0 <= out_port < len(self.ports):
             self.drops += 1
             return
-        start = max(self._egress_parser_busy[out_port], ready_time)
+        busy = self._egress_parser_busy[out_port]
+        start = busy if busy > ready_time else ready_time
         done = start + self.parser_gap_ns
         self._egress_parser_busy[out_port] = done
         self.sim.schedule_at(done, self._run_egress, out_port, replication_id, packet)
@@ -219,7 +228,7 @@ class Switch:
             self.drops += 1
             return
         packet.finalize()
-        self.sim.schedule_at(self.sim.now + self.pipeline_latency_ns / 2,
+        self.sim.schedule_at(self.sim._now + self.pipeline_latency_ns / 2,
                              self._transmit, out_port, packet)
 
     def _transmit(self, out_port: int, packet: Packet) -> None:

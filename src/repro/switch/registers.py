@@ -92,13 +92,23 @@ class RegisterAction:
         self.name = name or getattr(program, "__name__", "anon")
 
     def execute(self, index: int, argument: Any = None) -> int:
-        """Run the RMW program on one cell; returns the program's output."""
-        if not 0 <= index < self.register.size:
+        """Run the RMW program on one cell; returns the program's output.
+
+        The guard check is inlined (rather than calling
+        ``register._guard()``) because this is the single hottest call in
+        the P4CE gather path -- up to nine executions per aggregated ACK.
+        """
+        register = self.register
+        if not 0 <= index < register.size:
             raise IndexError(
-                f"register {self.register.name!r}: index {index} out of range "
-                f"0..{self.register.size - 1}")
-        self.register._guard()
-        current = self.register._cells[index]
-        new_value, output = self.program(current, argument)
-        self.register._cells[index] = new_value & self.register.mask
+                f"register {register.name!r}: index {index} out of range "
+                f"0..{register.size - 1}")
+        if register._accessed_this_packet and register._current_packet is not None:
+            raise RegisterAccessError(
+                f"register {register.name!r}: second access in one packet pass "
+                "(Tofino allows a single RegisterAction execution per packet)")
+        register._accessed_this_packet = True
+        cells = register._cells
+        new_value, output = self.program(cells[index], argument)
+        cells[index] = new_value & register.mask
         return output

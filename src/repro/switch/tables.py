@@ -5,6 +5,12 @@ A table is "the equivalent of a C switch/case, implemented in hardware"
 the table returns an action name plus action parameters, and the program
 executes that action.  Entries are installed exclusively by the control
 plane (table capacity is finite, like TCAM/SRAM budgets on the ASIC).
+
+Every table carries a ``version`` counter bumped on each control-plane
+write (entry add/delete, default change, clear).  Programs use it through
+:class:`FlowVerdictCache` to memoize their match-action walk per flow:
+any table write changes the cache's generation and flushes it, so a
+cached verdict can never outlive the entries it was derived from.
 """
 
 from __future__ import annotations
@@ -46,6 +52,8 @@ class ExactMatchTable:
         self.default = ActionEntry("NoAction")
         self.hits = 0
         self.misses = 0
+        #: Bumped on every control-plane write; read by FlowVerdictCache.
+        self.version = 0
 
     # -- data plane ---------------------------------------------------------------
 
@@ -69,15 +77,19 @@ class ExactMatchTable:
         if key not in self._entries and len(self._entries) >= self.capacity:
             raise TableFullError(f"table {self.name!r} is full ({self.capacity})")
         self._entries[key] = ActionEntry(action, **params)
+        self.version += 1
 
     def del_entry(self, key: Tuple[int, ...]) -> bool:
+        self.version += 1
         return self._entries.pop(key, None) is not None
 
     def set_default(self, action: str, **params: Any) -> None:
         self.default = ActionEntry(action, **params)
+        self.version += 1
 
     def clear(self) -> None:
         self._entries.clear()
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -108,6 +120,8 @@ class LpmTable:
         self.default = ActionEntry("NoAction")
         self.hits = 0
         self.misses = 0
+        #: Bumped on every control-plane write; read by FlowVerdictCache.
+        self.version = 0
 
     @staticmethod
     def _mask(prefix_len: int) -> int:
@@ -140,8 +154,10 @@ class LpmTable:
         if masked not in bucket:
             self._size += 1
         bucket[masked] = ActionEntry(action, **params)
+        self.version += 1
 
     def del_route(self, value: int, prefix_len: int) -> bool:
+        self.version += 1
         bucket = self._by_length.get(prefix_len, {})
         removed = bucket.pop(value & self._mask(prefix_len), None)
         if removed is not None:
@@ -151,9 +167,91 @@ class LpmTable:
 
     def set_default(self, action: str, **params: Any) -> None:
         self.default = ActionEntry(action, **params)
+        self.version += 1
 
     def __len__(self) -> int:
         return self._size
 
     def __repr__(self) -> str:
         return f"LpmTable({self.name!r}, {self._size}/{self.capacity} routes)"
+
+
+class FlowVerdictCache:
+    """Memoizes a program's match-action verdict per flow key.
+
+    The data-plane programs key it on the header fields their verdict
+    provably depends on (a projection of the 5-tuple plus BTH
+    opcode/dest-QP) and store the *classification* only -- which branch
+    the packet takes plus the matched action parameters.  Stateful
+    per-packet work (registers, counters, tracing) always runs.
+
+    Correctness rests on two rules:
+
+    * **Invalidation**: the cache captures the ``version`` of every table
+      consulted by the walk; :meth:`get` compares the current generation
+      first and flushes everything on any control-plane write, so a hit
+      can never reflect deleted or replaced entries.
+    * **Counter parity**: the per-table ``hits``/``misses`` counters are
+      observable state (tests and diagnostics read them), so a cache fill
+      records the counter deltas of the real walk and every subsequent
+      hit replays them -- with the fast lane on or off the counters end
+      up identical.
+    """
+
+    def __init__(self, *tables: Any):
+        self._tables = tables
+        # Version counters only ever increase, so their sum changes on any
+        # control-plane write: the per-packet generation check is a single
+        # int compare instead of building a tuple of versions.
+        self._gen: int = sum(t.version for t in tables)
+        self._cache: Dict[Any, Any] = {}
+        self.hits = 0
+        self.fills = 0
+        self.invalidations = 0
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Cached value for ``key``, or None (after a generation check)."""
+        tables = self._tables
+        if len(tables) == 1:
+            gen = tables[0].version
+        else:
+            gen = 0
+            for t in tables:
+                gen += t.version
+        if gen != self._gen:
+            self._gen = gen
+            if self._cache:
+                self._cache.clear()
+                self.invalidations += 1
+            return None
+        value = self._cache.get(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Store a verdict computed at the generation last seen by get()."""
+        self._cache[key] = value
+        self.fills += 1
+
+    def counters_snapshot(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple((t.hits, t.misses) for t in self._tables)
+
+    def counters_delta(self, before: Tuple[Tuple[int, int], ...]) -> Tuple[Tuple[Any, int, int], ...]:
+        """Sparse counter delta since ``before``: (table, +hits, +misses).
+
+        Tables the walk never touched are omitted, so replaying a hit is
+        a loop over one or two triples, not every cached table.
+        """
+        return tuple((t, t.hits - b[0], t.misses - b[1])
+                     for t, b in zip(self._tables, before)
+                     if t.hits != b[0] or t.misses != b[1])
+
+    def replay_counters(self, delta: Tuple[Tuple[Any, int, int], ...]) -> None:
+        for t, h, m in delta:
+            t.hits += h
+            t.misses += m
+
+    def __repr__(self) -> str:
+        return (f"FlowVerdictCache({len(self._cache)} flows, hits={self.hits}, "
+                f"fills={self.fills}, invalidations={self.invalidations})")

@@ -65,6 +65,71 @@ class TestPacket:
         assert pkt.copy().meta["x"] == 1
 
 
+class TestCopyOnWriteAliasing:
+    """The multicast fan-out guarantee (documented in ``Packet.copy``):
+    after a packet is replicated N ways, rewriting one replica's headers
+    is invisible in every sibling and in the original -- with the
+    copy-on-write lane on (shared frozen headers, thaw on write) or off
+    (eager deep copies)."""
+
+    @pytest.fixture(params=[True, False], ids=["cow", "eager"])
+    def cow_lane(self, request):
+        from repro import fastlane
+        saved = fastlane.flags.cow_packets
+        fastlane.flags.cow_packets = request.param
+        yield request.param
+        fastlane.flags.cow_packets = saved
+
+    def test_fanout_rewrites_invisible_to_siblings(self, cow_lane):
+        pkt = make_roce_packet()
+        stamped = pkt.pack()
+        replicas = [pkt.copy() for _ in range(5)]
+        for i, rep in enumerate(replicas):
+            rep.ipv4.dst = Ipv4Address(100 + i)
+            rep.upper[0].dest_qp = 0x100 + i
+            rep.upper[0].psn = 1000 + i
+            rep.upper[1].virtual_address = 0x2000 + 0x10 * i
+            rep.upper[1].r_key = 0xB000 + i
+            rep.finalize()
+        # The original saw none of the rewrites.
+        assert pkt.ipv4.dst == Ipv4Address(2)
+        assert pkt.upper[0].dest_qp == 0x12 and pkt.upper[0].psn == 7
+        assert pkt.upper[1].virtual_address == 0x1000
+        assert pkt.upper[1].r_key == 0xABCD
+        assert pkt.pack() == stamped
+        # Each replica kept exactly its own rewrite (no cross-talk).
+        for i, rep in enumerate(replicas):
+            assert rep.ipv4.dst == Ipv4Address(100 + i)
+            assert rep.upper[0].dest_qp == 0x100 + i
+            assert rep.upper[0].psn == 1000 + i
+            assert rep.upper[1].virtual_address == 0x2000 + 0x10 * i
+            assert rep.upper[1].r_key == 0xB000 + i
+        assert len({rep.pack() for rep in replicas}) == len(replicas)
+
+    def test_untouched_replica_packs_identically(self, cow_lane):
+        pkt = make_roce_packet()
+        clone = pkt.copy()
+        assert clone.pack() == pkt.pack()
+        assert clone.wire_size == pkt.wire_size
+
+    def test_rewriting_original_invisible_in_replicas(self, cow_lane):
+        pkt = make_roce_packet()
+        replicas = [pkt.copy() for _ in range(3)]
+        pkt.upper[0].psn = 4242
+        pkt.ipv4.dst = Ipv4Address(77)
+        for rep in replicas:
+            assert rep.upper[0].psn == 7
+            assert rep.ipv4.dst == Ipv4Address(2)
+
+    def test_payload_replacement_does_not_alias(self, cow_lane):
+        pkt = make_roce_packet()
+        clone = pkt.copy()
+        clone.payload = b"y" * 64
+        clone.finalize()
+        assert pkt.payload == b"x" * 64
+        assert clone.payload == b"y" * 64
+
+
 class Sink:
     def __init__(self):
         self.received = []

@@ -1,8 +1,11 @@
 """ICRC tests: integrity end-to-end, and why the switch must recompute it."""
 
+import random
+import struct
+
 import pytest
 
-from repro import params
+from repro import fastlane, params
 from repro.net import (
     EthernetHeader,
     Ipv4Address,
@@ -11,8 +14,8 @@ from repro.net import (
     Packet,
     UdpHeader,
 )
-from repro.rdma.headers import Bth, Reth
-from repro.rdma.icrc import check_icrc, compute_icrc, stamp_icrc
+from repro.rdma.headers import Aeth, AtomicEth, Bth, Reth
+from repro.rdma.icrc import _header_suffix, check_icrc, compute_icrc, stamp_icrc
 from repro.rdma.opcodes import Opcode
 
 
@@ -73,6 +76,121 @@ class TestIcrcProperties:
 
     def test_deterministic(self):
         assert compute_icrc(roce_packet()) == compute_icrc(roce_packet())
+
+
+def _random_roce_packet(rng: random.Random) -> Packet:
+    """A randomized RoCE packet over the header shapes RC traffic uses."""
+    bth = Bth(rng.choice([Opcode.RDMA_WRITE_ONLY, Opcode.RDMA_WRITE_FIRST,
+                          Opcode.ACKNOWLEDGE, Opcode.SEND_ONLY]),
+              rng.randrange(1 << 24), rng.randrange(1 << 24),
+              ack_req=rng.random() < 0.5, solicited=rng.random() < 0.5,
+              partition_key=rng.randrange(1 << 16))
+    shape = rng.randrange(4)
+    if shape == 0:
+        upper = [bth]
+    elif shape == 1:
+        upper = [bth, Aeth(rng.randrange(256), rng.randrange(1 << 24))]
+    elif shape == 2:
+        upper = [bth, Reth(rng.randrange(1 << 48), rng.randrange(1 << 32),
+                           rng.randrange(1 << 16))]
+    else:
+        upper = [bth, AtomicEth(rng.randrange(1 << 48), rng.randrange(1 << 32),
+                                rng.randrange(1 << 64))]
+    payload = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 257)))
+    pkt = Packet(
+        EthernetHeader(MacAddress(rng.randrange(1 << 48)),
+                       MacAddress(rng.randrange(1 << 48))),
+        Ipv4Header(Ipv4Address(rng.randrange(1 << 32)),
+                   Ipv4Address(rng.randrange(1 << 32))),
+        UdpHeader(49152 + rng.randrange(1024), params.ROCE_UDP_PORT),
+        upper, payload, has_icrc=True)
+    pkt.finalize()
+    return pkt
+
+
+class TestIncrementalEqualsFull:
+    """The incremental lane must agree bit-for-bit with full recompute."""
+
+    def test_randomized_packets(self):
+        rng = random.Random(0x1C2C)
+        for _ in range(200):
+            pkt = _random_roce_packet(rng)
+            fastlane.flags.incremental_icrc = True
+            try:
+                incremental = compute_icrc(pkt)
+                # Second call exercises the whole-result cache.
+                assert compute_icrc(pkt) == incremental
+                fastlane.flags.incremental_icrc = False
+                full = compute_icrc(pkt)
+            finally:
+                fastlane.flags.incremental_icrc = True
+            assert incremental == full
+
+    def test_randomized_rewrites(self):
+        """Switch-egress-style rewrites: the cached payload CRC must
+        recombine with the fresh header suffix to the full value."""
+        rng = random.Random(0xE9)
+        for _ in range(100):
+            pkt = _random_roce_packet(rng)
+            compute_icrc(pkt)  # warm the payload + whole-result caches
+            bth = pkt.upper[0]
+            bth.dest_qp = rng.randrange(1 << 24)
+            bth.psn = rng.randrange(1 << 24)
+            pkt.ipv4.dst = Ipv4Address(rng.randrange(1 << 32))
+            for header in pkt.upper[1:]:
+                if isinstance(header, Reth):
+                    header.virtual_address = rng.randrange(1 << 48)
+                    header.r_key = rng.randrange(1 << 32)
+            pkt.finalize()
+            incremental = compute_icrc(pkt)
+            fastlane.flags.incremental_icrc = False
+            try:
+                assert compute_icrc(pkt) == incremental
+            finally:
+                fastlane.flags.incremental_icrc = True
+
+    def test_suffix_codecs_match_general_path(self):
+        """The one-shot struct codecs for [Bth], [Bth, Aeth] and
+        [Bth, Reth] must produce the same canonical bytes as the
+        parts-list fallback (which AtomicEth stacks always take)."""
+        rng = random.Random(0xACE)
+        for _ in range(200):
+            pkt = _random_roce_packet(rng)
+            ipv4, udp = pkt.ipv4, pkt.udp
+            reference = b"".join(
+                [ipv4.src.to_bytes(), ipv4.dst.to_bytes(),
+                 struct.pack("!BHH", ipv4.protocol, udp.dst_port, udp.length)]
+                + [h.pack() for h in pkt.upper
+                   if isinstance(h, (Bth, Reth, Aeth))])
+            assert _header_suffix(pkt, ipv4, udp) == reference
+
+    def test_masked_fields_do_not_invalidate_cached_value(self):
+        pkt = roce_packet()
+        stamp_icrc(pkt)
+        before = compute_icrc(pkt)
+        pkt.ipv4.ttl = 9
+        pkt.ipv4.dscp = 11
+        pkt.udp.src_port = 50123
+        assert compute_icrc(pkt) == before
+        assert check_icrc(pkt)
+
+    def test_each_covered_field_invalidates(self):
+        rng = random.Random(7)
+        mutators = [
+            lambda p: setattr(p.upper[0], "dest_qp", p.upper[0].dest_qp ^ 1),
+            lambda p: setattr(p.upper[0], "psn", p.upper[0].psn ^ 1),
+            lambda p: setattr(p.upper[1], "virtual_address",
+                              p.upper[1].virtual_address ^ 1),
+            lambda p: setattr(p.upper[1], "r_key", p.upper[1].r_key ^ 1),
+            lambda p: setattr(p, "payload", b"Y" + p.payload[1:]),
+        ]
+        for mutate in mutators:
+            pkt = roce_packet(payload=bytes(rng.randrange(256)
+                                            for _ in range(64)))
+            before = compute_icrc(pkt)
+            mutate(pkt)
+            pkt.finalize()
+            assert compute_icrc(pkt) != before
 
 
 class TestSwitchMustRecompute:

@@ -158,6 +158,39 @@ def test_run_until_predicate_timeout():
     assert sim.now == 100
 
 
+def test_run_until_check_every_stops_when_queue_drains():
+    """Regression: with ``check_every`` set and the event queue draining
+    before the deadline, run_until must return instead of spinning to the
+    deadline in check_every-sized steps re-evaluating the predicate."""
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    calls = {"n": 0}
+
+    def predicate():
+        calls["n"] += 1
+        return False
+
+    ok = sim.run_until(predicate, timeout=10_000_000, check_every=10)
+    assert not ok
+    assert sim.events_executed == 1
+    # Spinning would evaluate the predicate ~a million times here.
+    assert calls["n"] <= 4
+
+
+def test_run_until_check_every_predicate_fires():
+    sim = Simulator()
+    state = {"n": 0}
+
+    def bump():
+        state["n"] += 1
+        sim.schedule(10, bump)
+
+    sim.schedule(10, bump)
+    ok = sim.run_until(lambda: state["n"] >= 5, timeout=1_000, check_every=25)
+    assert ok
+    assert state["n"] >= 5
+
+
 def test_run_not_reentrant():
     sim = Simulator()
     errors = []

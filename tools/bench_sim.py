@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Calibrated simulator-throughput harness (and fast-lane proof).
+
+Runs the consensus-rate and goodput workloads twice each -- fast lanes on
+(:mod:`repro.fastlane` defaults) and off (the seed-equivalent reference
+path) -- and measures **simulator events per second** and wall clock.
+
+The interesting output is not only the speedup: the harness *proves* the
+fast lanes are behaviour-preserving by asserting, between the two lanes:
+
+* identical ``Simulator.events_executed`` over the measured window,
+* identical benchmark metrics (consensus/s, goodput, commit count),
+* an identical packet-trace digest: every frame accepted by every link is
+  hashed (wire bytes + attached ICRC + timestamp), so a single byte or
+  timestamp diverging anywhere in the run changes the digest.
+
+Results are written to ``BENCH_<n>.json`` so future PRs have a perf
+trajectory; see ``docs/PERF.md`` for how to read it.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sim.py            # full run
+    PYTHONPATH=src python tools/bench_sim.py --quick    # CI smoke (~15 s)
+
+Exits non-zero if any determinism assertion fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import struct
+import sys
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+
+from repro import fastlane  # noqa: E402
+from repro.workloads.experiments import (  # noqa: E402
+    ClosedLoopDriver, build_cluster)
+
+MS = 1_000_000
+
+#: The two workloads the fidelity gate hammers (benchmarks/
+#: test_consensus_rate.py and test_fig5_goodput.py): small-value maximum
+#: consensus rate, and large-value goodput.
+WORKLOADS = {
+    "consensus_rate": dict(protocol="p4ce", replicas=2, value_size=64,
+                           window=16),
+    "goodput": dict(protocol="p4ce", replicas=3, value_size=4096,
+                    window=16),
+}
+
+
+def _install_trace_digest(cluster) -> "hashlib._Hash":
+    """Hash every frame accepted by every link (bytes + ICRC + time).
+
+    Every cable in the star topology has one end at a switch, so walking
+    switch ports finds them all.  The tap runs identically in both lanes,
+    so its (small) cost cancels out of the comparison.
+    """
+    digest = hashlib.sha256()
+    sim = cluster.sim
+    update = digest.update
+    pack_meta = struct.Struct("!dI").pack
+
+    def tap(src, packet):
+        update(packet.pack())
+        icrc = packet.meta.get("icrc")
+        update(pack_meta(sim._now, 0 if icrc is None else icrc))
+
+    switches = [cluster.switch]
+    if cluster.backup_switch is not None:
+        switches.append(cluster.backup_switch)
+    for switch in switches:
+        for port in switch.ports:
+            if port.link is not None:
+                port.link.tap = tap
+    return digest
+
+
+def run_lane(spec: dict, lane_on: bool, warmup_ns: float, window_ns: float) -> dict:
+    """One workload, one lane setting, one fresh cluster."""
+    fastlane.flags.set_all(lane_on)
+    try:
+        cluster = build_cluster(spec["protocol"], spec["replicas"],
+                                value_size=spec["value_size"])
+        digest = _install_trace_digest(cluster)
+        cluster.await_ready()
+        driver = ClosedLoopDriver(cluster, spec["value_size"],
+                                  window=spec["window"])
+        driver.start()
+        cluster.run_for(warmup_ns)
+        driver.measuring = True
+        driver.throughput.open(cluster.sim.now)
+        events_before = cluster.sim.events_executed
+        # GC pauses land arbitrarily and swamp the lane comparison; both
+        # lanes run the measured window with collection off.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        t0 = time.perf_counter()
+        cluster.run_for(window_ns)
+        wall = time.perf_counter() - t0
+        if gc_was_enabled:
+            gc.enable()
+        driver.throughput.close(cluster.sim.now)
+        driver.measuring = False
+        driver.stop()
+        events = cluster.sim.events_executed - events_before
+        return {
+            "lane": "fast" if lane_on else "slow",
+            "wall_clock_s": wall,
+            "events_executed": events,
+            "events_per_sec": events / wall,
+            "ops_per_sec": driver.throughput.ops_per_sec,
+            "goodput_gbps": driver.throughput.goodput_gbytes_per_sec,
+            "commits": driver.commits,
+            "trace_digest": digest.hexdigest(),
+            "fastlane": fastlane.flags.as_dict(),
+        }
+    finally:
+        fastlane.enable()
+
+
+#: Metrics that must be bit-identical between the fast and slow lanes.
+_DETERMINISM_KEYS = ("events_executed", "trace_digest", "ops_per_sec",
+                     "goodput_gbps", "commits")
+
+
+def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
+                 repeats: int) -> dict:
+    """Run both lanes ``repeats`` times; keep best wall clock per lane.
+
+    The lanes are interleaved (fast, slow, fast, slow, ...) so slow
+    drifts in machine load hit both lanes alike instead of biasing
+    whichever lane happened to run last.
+    """
+    lanes = {"fast": None, "slow": None}
+    failures = []
+    for _ in range(repeats):
+        for lane_on, lane_name in ((True, "fast"), (False, "slow")):
+            result = run_lane(spec, lane_on, warmup_ns, window_ns)
+            best = lanes[lane_name]
+            if best is None:
+                lanes[lane_name] = result
+            else:
+                # Repeats of a deterministic simulation must agree with
+                # themselves before lanes are compared with each other.
+                for key in _DETERMINISM_KEYS:
+                    if result[key] != best[key]:
+                        failures.append(
+                            f"{name}/{lane_name}: {key} varies across repeats "
+                            f"({best[key]!r} vs {result[key]!r})")
+                if result["wall_clock_s"] < best["wall_clock_s"]:
+                    lanes[lane_name] = result
+    for key in _DETERMINISM_KEYS:
+        if lanes["fast"][key] != lanes["slow"][key]:
+            failures.append(
+                f"{name}: {key} differs between lanes "
+                f"(fast={lanes['fast'][key]!r} slow={lanes['slow'][key]!r})")
+    fast, slow = lanes["fast"], lanes["slow"]
+    return {
+        # Headline numbers (fast lane) at the top level, per the perf
+        # trajectory schema: {events_per_sec, wall_clock_s, events_executed}.
+        "events_per_sec": fast["events_per_sec"],
+        "wall_clock_s": fast["wall_clock_s"],
+        "events_executed": fast["events_executed"],
+        "ops_per_sec": fast["ops_per_sec"],
+        "goodput_gbps": fast["goodput_gbps"],
+        "speedup_vs_slow_lane": fast["events_per_sec"] / slow["events_per_sec"],
+        "deterministic": not failures,
+        "determinism_failures": failures,
+        "fast": fast,
+        "slow": slow,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short windows and one repeat (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per lane (default: 3, quick: 1)")
+    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_1.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--workload", choices=sorted(WORKLOADS), default=None,
+                        help="run a single workload instead of all")
+    args = parser.parse_args(argv)
+
+    warmup_ns = 0.3 * MS if args.quick else 1 * MS
+    window_ns = 1 * MS if args.quick else 4 * MS
+    repeats = args.repeats or (1 if args.quick else 3)
+    names = [args.workload] if args.workload else sorted(WORKLOADS)
+
+    report = {
+        "schema": 1,
+        "harness": "tools/bench_sim.py",
+        "python": sys.version.split()[0],
+        "quick": args.quick,
+        "repeats": repeats,
+        "warmup_ns": warmup_ns,
+        "window_ns": window_ns,
+        "workloads": {},
+    }
+    ok = True
+    for name in names:
+        print(f"[{name}] running fast + slow lanes "
+              f"({repeats} repeat(s), {window_ns / MS:g} ms window)...")
+        result = run_workload(name, WORKLOADS[name], warmup_ns=warmup_ns,
+                              window_ns=window_ns, repeats=repeats)
+        report["workloads"][name] = result
+        fast, slow = result["fast"], result["slow"]
+        print(f"  fast: {fast['events_per_sec'] / 1e3:8.1f}k events/s  "
+              f"wall={fast['wall_clock_s']:.2f}s  events={fast['events_executed']}")
+        print(f"  slow: {slow['events_per_sec'] / 1e3:8.1f}k events/s  "
+              f"wall={slow['wall_clock_s']:.2f}s  events={slow['events_executed']}")
+        print(f"  speedup(fast/slow) = {result['speedup_vs_slow_lane']:.2f}x   "
+              f"consensus = {fast['ops_per_sec'] / 1e6:.2f} M/s   "
+              f"digest = {fast['trace_digest'][:16]}...")
+        if result["deterministic"]:
+            print("  determinism: OK (events, metrics, trace digest identical)")
+        else:
+            ok = False
+            for failure in result["determinism_failures"]:
+                print(f"  DETERMINISM FAILURE: {failure}")
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
