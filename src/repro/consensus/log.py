@@ -32,7 +32,7 @@ from __future__ import annotations
 import struct
 from typing import Iterator, List, Optional, Tuple
 
-from .. import params
+from .. import fastlane, params
 from ..rdma.memory import MemoryRegion
 
 ENTRY_HEADER = struct.Struct("!QQ")
@@ -111,15 +111,14 @@ class Log:
         self.region = region
         #: Logical append/consume cursor (monotonic).
         self.next_offset = 0
+        #: Bytes per lap (a wrap marker must always fit at the end).
+        #: Fixed at registration time; cached because the cursor math on
+        #: the replication hot path reads it several times per entry.
+        self.usable = region.length - ENTRY_HEADER.size
 
     @property
     def capacity(self) -> int:
         return self.region.length
-
-    @property
-    def usable(self) -> int:
-        """Bytes per lap (a wrap marker must always fit at the end)."""
-        return self.capacity - ENTRY_HEADER.size
 
     @property
     def base_va(self) -> int:
@@ -168,6 +167,34 @@ class Log:
         Returns the entry; transparently follows wrap markers.  Returns
         None when the next entry has not arrived yet.
         """
+        usable = self.usable
+        if fastlane.flags.hot_reads:
+            # Decode straight from the backing store: the cursor math
+            # keeps every read inside the region (usable = length -
+            # header), so the bounds checks and bytes copies of
+            # MemoryRegion.read are pure overhead on this path.
+            buffer = self.region.buffer
+            for _ in range(2):  # at most one wrap hop
+                lap = logical // usable
+                physical = logical % usable
+                word, epoch = ENTRY_HEADER.unpack_from(buffer, physical)
+                if (word >> LENGTH_BITS) != (lap & LAP_MASK):
+                    return None
+                biased = word & LENGTH_MASK
+                if biased == WRAP_LENGTH:
+                    logical = (lap + 1) * usable
+                    continue
+                if biased == 0:
+                    return None
+                length = biased - 1
+                size = entry_size(length)
+                if physical + size > usable:
+                    return None
+                start = physical + ENTRY_HEADER.size
+                return LogEntry(logical, epoch,
+                                bytes(buffer[start:start + length]),
+                                logical + size)
+            return None
         for _ in range(2):  # at most one wrap hop
             lap = self.lap_of(logical)
             physical = self.physical(logical)
@@ -204,8 +231,11 @@ class Log:
     def _follow_wrap(self) -> None:
         lap = self.lap_of(self.next_offset)
         physical = self.physical(self.next_offset)
-        header = self.region.read(self.base_va + physical, ENTRY_HEADER.size)
-        word, _epoch = ENTRY_HEADER.unpack(header)
+        if fastlane.flags.hot_reads:
+            word, _epoch = ENTRY_HEADER.unpack_from(self.region.buffer, physical)
+        else:
+            header = self.region.read(self.base_va + physical, ENTRY_HEADER.size)
+            word, _epoch = ENTRY_HEADER.unpack(header)
         if (word >> LENGTH_BITS) == (lap & LAP_MASK) \
                 and (word & LENGTH_MASK) == WRAP_LENGTH:
             self.next_offset = (lap + 1) * self.usable

@@ -27,42 +27,67 @@ Four lanes, mirroring the optimisations described in ``docs/PERF.md``:
     inlined long-hand loop (no per-event helper call frame).  Off, it
     dispatches every event through ``_execute`` -- the reference shape.
 
+``rewrite_templates``
+    The switch egress scatter rewrite, the gather forward rewrite and the
+    NIC transmit framer emit packets by patching pre-rendered wire-image
+    templates (:mod:`repro.rdma.wiretemplate`) -- a ``bytearray`` copy
+    plus two or three ``struct.pack_into`` patches per leg -- instead of
+    thawing and rewriting header objects, re-running ``finalize`` and
+    re-serializing the whole stack.  Templates are re-rendered when the
+    control-plane tables change (flow epoch) or the flow's constant
+    fields drift.
+
+``object_pools``
+    ``Packet`` shells for switch fan-out copies and the kernel ``Event``
+    objects behind fire-and-forget scheduling are recycled through
+    bounded freelists instead of being allocated per leg / per event.
+
+``delivery_batching``
+    The kernel heap stores one entry per distinct timestamp (a FIFO
+    bucket of events) instead of one entry per event, so the same-tick
+    bursts produced by multicast fan-out -- N link deliveries, N egress
+    parser slots, N transmits at identical times -- cost one heap
+    push/pop instead of N.
+
+``hot_reads``
+    The replicated-log reader (:meth:`repro.consensus.log.Log.peek` and
+    the wrap-marker probe) decodes entries straight out of the region's
+    backing ``bytearray`` with ``unpack_from`` instead of going through
+    :meth:`repro.rdma.memory.MemoryRegion.read` (which bounds-checks and
+    copies a ``bytes`` slice per call).  The reads are in-bounds by
+    construction -- the cursor arithmetic already guarantees it -- and
+    decode the same bytes, so consumed entries are bit-identical.
+
 All lanes default to on.  ``REPRO_FASTLANE=off`` (or ``0``/``false``)
 disables all of them for a process; ``enable()`` / ``disable()`` flip them
 at runtime (takes effect for packets processed afterwards -- benchmarks
-construct a fresh cluster per lane setting anyway).
+construct a fresh cluster per lane setting anyway; the kernel lanes are
+sampled once per :class:`~repro.sim.kernel.Simulator` at construction).
 """
 
 from __future__ import annotations
 
 import os
 
+_LANES = ("cow_packets", "incremental_icrc", "flow_cache", "kernel_hotloop",
+          "rewrite_templates", "object_pools", "delivery_batching",
+          "hot_reads")
+
 
 class _Flags:
-    __slots__ = ("cow_packets", "incremental_icrc", "flow_cache",
-                 "kernel_hotloop")
+    __slots__ = _LANES
 
     def __init__(self) -> None:
         on = os.environ.get("REPRO_FASTLANE", "on").strip().lower() not in (
             "off", "0", "false", "no")
-        self.cow_packets = on
-        self.incremental_icrc = on
-        self.flow_cache = on
-        self.kernel_hotloop = on
+        self.set_all(on)
 
     def set_all(self, on: bool) -> None:
-        self.cow_packets = on
-        self.incremental_icrc = on
-        self.flow_cache = on
-        self.kernel_hotloop = on
+        for lane in _LANES:
+            setattr(self, lane, on)
 
     def as_dict(self) -> dict:
-        return {
-            "cow_packets": self.cow_packets,
-            "incremental_icrc": self.incremental_icrc,
-            "flow_cache": self.flow_cache,
-            "kernel_hotloop": self.kernel_hotloop,
-        }
+        return {lane: getattr(self, lane) for lane in _LANES}
 
 
 #: Process-wide fast-lane switches.  Import the module and read

@@ -176,14 +176,22 @@ class Link:
         if not self.up or (self.drop_probability > 0.0
                            and self._rng.chance(self.drop_probability)):
             stats.dropped += 1
+            if packet._pooled:
+                packet.release()
             return True
-        self._sim.schedule_at(finish + self.propagation_ns, self._deliver, d, packet)
+        # Fire-and-forget: no delivery handle escapes, so the kernel may
+        # pool the Event (and with delivery_batching, same-tick deliveries
+        # across the fan-out share one heap entry).
+        self._sim.schedule_at_fire(finish + self.propagation_ns, self._deliver,
+                                   d, packet)
         return True
 
     def _deliver(self, d: "_Direction", packet: Packet) -> None:
         if not self.up:
             # The link went down while the frame was in flight.
             d.stats.dropped += 1
+            if packet._pooled:
+                packet.release()
             return
         dst = d.dst
         device = dst.device

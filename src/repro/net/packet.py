@@ -47,6 +47,10 @@ _SH_UDP = 4
 _SH_UPPER = 8
 _SH_ALL = _SH_ETH | _SH_IPV4 | _SH_UDP | _SH_UPPER
 
+#: Bounded freelist of dead fan-out shells (see ``Packet.fanout_copy``).
+_PACKET_POOL: List["Packet"] = []
+_PACKET_POOL_CAP = 512
+
 
 class UpperHeader(Protocol):
     """Anything stackable above UDP: must know its size and byte codec."""
@@ -62,7 +66,8 @@ class Packet:
     """One Ethernet frame in flight."""
 
     __slots__ = ("_eth", "_ipv4", "_udp", "_upper", "_payload", "has_icrc",
-                 "meta", "_shared", "_upper_size", "_payload_crc", "_icrc_state")
+                 "meta", "_shared", "_upper_size", "_payload_crc", "_icrc_state",
+                 "_wire", "_pooled")
 
     def __init__(self, eth: EthernetHeader, ipv4: Optional[Ipv4Header] = None,
                  udp: Optional[UdpHeader] = None,
@@ -83,11 +88,24 @@ class Packet:
         self._payload_crc: Optional[tuple] = None
         #: Cached invariant-CRC state, owned by :mod:`repro.rdma.icrc`.
         self._icrc_state: Optional[tuple] = None
+        #: ``(header_block, trailer)`` pre-serialized wire cache, set by the
+        #: rewrite-template engine.  Valid as long as no header slot is
+        #: touched (every header property access clears it); the payload is
+        #: joined live, so payload swaps do not invalidate it.
+        self._wire: Optional[tuple] = None
+        #: True for switch fan-out shells drawn from the bounded freelist;
+        #: the receiving NIC returns them via :meth:`release`.
+        self._pooled = False
 
     # -- copy-on-write accessors ----------------------------------------------
 
+    # Every header accessor (read or write) drops the pre-serialized wire
+    # cache: handing out a header object means its fields may change, and
+    # the cache must never outlive the bytes it mirrors.
+
     @property
     def eth(self) -> EthernetHeader:
+        self._wire = None
         if self._shared & _SH_ETH:
             self._shared &= ~_SH_ETH
             self._eth = self._eth.copy()
@@ -95,11 +113,13 @@ class Packet:
 
     @eth.setter
     def eth(self, value: EthernetHeader) -> None:
+        self._wire = None
         self._shared &= ~_SH_ETH
         self._eth = value
 
     @property
     def ipv4(self) -> Optional[Ipv4Header]:
+        self._wire = None
         if self._shared & _SH_IPV4:
             self._shared &= ~_SH_IPV4
             if self._ipv4 is not None:
@@ -108,11 +128,13 @@ class Packet:
 
     @ipv4.setter
     def ipv4(self, value: Optional[Ipv4Header]) -> None:
+        self._wire = None
         self._shared &= ~_SH_IPV4
         self._ipv4 = value
 
     @property
     def udp(self) -> Optional[UdpHeader]:
+        self._wire = None
         if self._shared & _SH_UDP:
             self._shared &= ~_SH_UDP
             if self._udp is not None:
@@ -121,11 +143,13 @@ class Packet:
 
     @udp.setter
     def udp(self, value: Optional[UdpHeader]) -> None:
+        self._wire = None
         self._shared &= ~_SH_UDP
         self._udp = value
 
     @property
     def upper(self) -> List[UpperHeader]:
+        self._wire = None
         if self._shared & _SH_UPPER:
             self._shared &= ~_SH_UPPER
             self._upper = [h.copy() for h in self._upper]
@@ -133,6 +157,7 @@ class Packet:
 
     @upper.setter
     def upper(self, value: List[UpperHeader]) -> None:
+        self._wire = None
         self._shared &= ~_SH_UPPER
         self._upper = value
         self._upper_size = None
@@ -190,18 +215,42 @@ class Packet:
         """
         body = len(self._payload) + self.upper_size + (ICRC_BYTES if self.has_icrc else 0)
         if self._udp is not None:
-            udp = self.udp  # thaw before writing
-            if udp.length != UdpHeader.SIZE + body:
-                udp.length = UdpHeader.SIZE + body
+            # Compare through the private slot first: thawing (and wire-
+            # cache invalidation) is only needed when a length actually
+            # changes, and on the hot path it almost never does.
+            length = UdpHeader.SIZE + body
+            if self._udp.length != length:
+                self.udp.length = length  # property thaws before writing
             body += UdpHeader.SIZE
         if self._ipv4 is not None:
-            ipv4 = self.ipv4
-            if ipv4.total_length != Ipv4Header.SIZE + body:
-                ipv4.total_length = Ipv4Header.SIZE + body
+            total = Ipv4Header.SIZE + body
+            if self._ipv4.total_length != total:
+                self.ipv4.total_length = total
         return self
+
+    def rewrite_macs(self, src, dst) -> None:
+        """L2 forwarding rewrite that keeps a rendered wire image alive.
+
+        A plain MAC swap touches only the first 12 bytes of the frame, so
+        when the rewrite-template engine has left a pre-serialized block
+        on the packet it is patched in place instead of being discarded.
+        The Ethernet header object is replaced wholesale (never mutated):
+        it may be a frozen template header shared with other frames.
+        """
+        eth = self._eth
+        if eth.src is src and eth.dst is dst:
+            return
+        self._eth = EthernetHeader(dst, src, eth.ethertype)
+        self._shared &= ~_SH_ETH
+        wire = self._wire
+        if wire is not None:
+            self._wire = (dst._b + src._b + wire[0][12:], wire[1])
 
     def pack(self) -> bytes:
         """Serialize to wire bytes (without preamble/IFG/FCS)."""
+        wire = self._wire
+        if wire is not None:
+            return wire[0] + self._payload + wire[1]
         parts = [self._eth.pack()]
         if self._ipv4 is not None:
             parts.append(self._ipv4.pack())
@@ -274,7 +323,86 @@ class Packet:
         clone._upper_size = self._upper_size
         clone._payload_crc = self._payload_crc
         clone._icrc_state = self._icrc_state
+        clone._wire = self._wire
         return clone
+
+    def fanout_copy(self) -> "Packet":
+        """:meth:`copy` for switch fan-out legs.
+
+        The clone is marked pool-eligible and its shell may be a recycled
+        one (``object_pools`` lane); the receiving NIC returns it with
+        :meth:`release` once the leg is dispatched.  Legs are the only
+        pooled packets because their lifetime is provably bounded: created
+        at replication, consumed at exactly one NIC.  Retained packets
+        (the requester's retransmit window holds its originals) never go
+        through here.
+        """
+        if not fastlane.flags.object_pools:
+            return self.copy()
+        pool = _PACKET_POOL
+        clone = pool.pop() if pool else Packet.__new__(Packet)
+        if fastlane.flags.cow_packets:
+            self._eth.freeze()
+            ipv4 = self._ipv4
+            if ipv4 is not None:
+                ipv4.freeze()
+            udp = self._udp
+            if udp is not None:
+                udp.freeze()
+            for header in self._upper:
+                header.freeze()
+            clone._eth = self._eth
+            clone._ipv4 = ipv4
+            clone._udp = udp
+            clone._upper = self._upper
+            clone._shared = _SH_ALL
+            self._shared = _SH_ALL
+            clone._upper_size = self._upper_size
+            clone._payload_crc = self._payload_crc
+            clone._icrc_state = self._icrc_state
+            clone._wire = self._wire
+        else:
+            clone._eth = self._eth.copy()
+            clone._ipv4 = self._ipv4.copy() if self._ipv4 is not None else None
+            clone._udp = self._udp.copy() if self._udp is not None else None
+            clone._upper = [h.copy() for h in self.upper]
+            clone._shared = 0
+            clone._upper_size = None
+            clone._payload_crc = None
+            clone._icrc_state = None
+            clone._wire = None
+        clone._payload = self._payload
+        clone.has_icrc = self.has_icrc
+        clone.meta = dict(self.meta)
+        clone._pooled = True
+        return clone
+
+    def release(self) -> None:
+        """Return a consumed fan-out shell to the freelist.
+
+        Only meaningful for :meth:`fanout_copy` clones (``_pooled``); a
+        no-op otherwise.  The caller asserts the packet is dead: nothing
+        may read it after release.  References that could leak simulation
+        state (payload, caches) are dropped; the header slots are cleared
+        so the shell cannot resurrect stale protocol fields.
+        """
+        if not self._pooled:
+            return
+        self._pooled = False
+        pool = _PACKET_POOL
+        if len(pool) >= _PACKET_POOL_CAP:
+            return
+        self._eth = None  # type: ignore[assignment]
+        self._ipv4 = None
+        self._udp = None
+        self._upper = ()  # type: ignore[assignment]  # dead-state marker
+        self._payload = b""
+        self._shared = 0
+        self._upper_size = None
+        self._payload_crc = None
+        self._icrc_state = None
+        self._wire = None
+        pool.append(self)
 
     def __repr__(self) -> str:
         stack = [type(h).__name__ for h in self._upper]

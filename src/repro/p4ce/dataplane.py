@@ -44,6 +44,7 @@ from .. import fastlane, params
 from ..net import Packet
 from ..rdma.headers import Aeth, Bth, Reth
 from ..rdma.icrc import stamp_icrc
+from ..rdma.wiretemplate import gather_rewrite, scatter_rewrite
 from ..rdma.opcodes import Opcode, WRITE_OPCODES
 from ..switch.forwarding import cached_l3_forward
 from ..switch.pipeline import IngressVerdict, SwitchProgram
@@ -80,7 +81,7 @@ class _GatherPre:
 
     __slots__ = ("psn_offset", "group_index", "credit_slot", "numrecv_base",
                  "ack_threshold", "leader_verdict", "leader_mac", "leader_ip",
-                 "leader_qpn")
+                 "leader_qpn", "templates")
 
     def __init__(self, action: Dict):
         self.psn_offset = int(action["psn_offset"])
@@ -92,6 +93,10 @@ class _GatherPre:
         self.leader_mac = action["leader_mac"]
         self.leader_ip = action["leader_ip"]
         self.leader_qpn = int(action["leader_qpn"])
+        #: Lazily-filled wire-template dict for the forwarded-ACK rewrite
+        #: (``rewrite_templates`` lane); regenerated with this pre on any
+        #: control-plane write, since the flow cache rebuilds the pre.
+        self.templates: Optional[Dict] = None
 
 
 class P4ceProgram(SwitchProgram):
@@ -144,6 +149,10 @@ class P4ceProgram(SwitchProgram):
         self._flow_cache: Optional[FlowVerdictCache] = None
         #: Per-replication-id cache of precompiled egress rewrites.
         self._egress_cache: Optional[FlowVerdictCache] = None
+        #: Per-replication-id wire-template dicts (``rewrite_templates``
+        #: lane).  Generation-checked against the egress connection table
+        #: itself, so it is valid independently of the flow-cache lane.
+        self._egress_templates = FlowVerdictCache(self.egress_conn_table)
         #: All registers this program owns, for the per-packet guard reset.
         self._all_registers = (self.numrecv, *self.credits)
 
@@ -159,13 +168,19 @@ class P4ceProgram(SwitchProgram):
     # ------------------------------------------------------------------
 
     def on_ingress(self, in_port: int, packet: Packet) -> IngressVerdict:
-        ipv4 = packet.ipv4
+        # Classification only *reads* header fields, so it goes through
+        # the private slots: thawing (and wire-cache invalidation) is
+        # deferred to the paths that actually rewrite.  The gather branch
+        # may mutate the found BTH/AETH directly -- safe because an ACK
+        # arriving from a replica NIC is never a copy-on-write clone (ACKs
+        # are not retained or replicated), so its upper stack is private.
+        ipv4 = packet._ipv4
         if ipv4 is None:
             return _VERDICT_DROP
         self._begin_packet(packet.meta.get("packet_token", 0))
         if ipv4.dst.value != self._switch_ip_value:
             return cached_l3_forward(self.switch, packet, self._flow_cache)
-        udp = packet.udp
+        udp = packet._udp
         if udp is None:
             return _VERDICT_DROP
         if udp.dst_port == params.CM_UDP_PORT:
@@ -173,7 +188,7 @@ class P4ceProgram(SwitchProgram):
             return _VERDICT_TO_CPU
         if udp.dst_port != params.ROCE_UDP_PORT:
             return _VERDICT_DROP
-        bth = _find_bth(packet)
+        bth = _find_bth_rx(packet)
         if bth is None:
             return _VERDICT_DROP
         kind, pre = self._classify_roce(bth)
@@ -246,7 +261,7 @@ class P4ceProgram(SwitchProgram):
 
     def _gather(self, packet: Packet, bth: Bth, pre: _GatherPre) -> IngressVerdict:
         """Replica ACK on an Aggr QP: count, aggregate, forward the f-th."""
-        aeth = _find_aeth(packet)
+        aeth = _find_aeth_rx(packet)
         if aeth is None or bth.opcode is not Opcode.ACKNOWLEDGE:
             return _VERDICT_DROP
         syndrome = aeth.syndrome
@@ -319,6 +334,16 @@ class P4ceProgram(SwitchProgram):
                            new_syndrome: int) -> None:
         """Make the aggregated ACK look like a reply from the switch."""
         switch = self.switch
+        if fastlane.flags.rewrite_templates:
+            templates = pre.templates
+            if templates is None:
+                templates = pre.templates = {}
+            if gather_rewrite(packet, templates, pre.leader_mac,
+                              pre.leader_ip, params.ROCE_UDP_PORT,
+                              pre.leader_qpn, switch.mac, switch.ip,
+                              leader_psn, new_syndrome,
+                              stamp=self.recompute_icrc):
+                return
         eth = packet.eth
         eth.src = switch.mac
         eth.dst = pre.leader_mac
@@ -360,8 +385,18 @@ class P4ceProgram(SwitchProgram):
         else:
             # Counter parity with the un-cached walk: one table hit.
             self.egress_conn_table.hits += 1
-        dst_mac, dst_ip, udp_port, qpn, psn_offset, va_base, r_key = pre
         switch = self.switch
+        if fastlane.flags.rewrite_templates:
+            tcache = self._egress_templates
+            templates = tcache.get(replication_id)
+            if templates is None:
+                templates = {}
+                tcache.put(replication_id, templates)
+            if scatter_rewrite(packet, templates, pre, switch.mac, switch.ip,
+                               stamp=self.recompute_icrc):
+                return True
+            # Unsupported shape: fall through to the header-object rewrite.
+        dst_mac, dst_ip, udp_port, qpn, psn_offset, va_base, r_key = pre
         eth = packet.eth
         eth.src = switch.mac
         eth.dst = dst_mac
@@ -415,6 +450,26 @@ def _credit_read(current: int, _arg) -> Tuple[int, int]:
 
 
 # -- header finders --------------------------------------------------------------
+
+def _find_bth_rx(packet: Packet) -> Optional[Bth]:
+    """Classification-path BTH finder: reads the raw upper stack.
+
+    Skipping the ``packet.upper`` property avoids thawing a
+    copy-on-write stack (and dropping the packet's rendered wire image)
+    just to *look at* the headers.
+    """
+    for header in packet._upper:
+        if isinstance(header, Bth):
+            return header
+    return None
+
+
+def _find_aeth_rx(packet: Packet) -> Optional[Aeth]:
+    for header in packet._upper:
+        if isinstance(header, Aeth):
+            return header
+    return None
+
 
 def _find_bth(packet: Packet) -> Optional[Bth]:
     for header in packet.upper:

@@ -29,6 +29,14 @@ from .opcodes import AETH_OPCODES, Opcode, RETH_OPCODES
 PSN_MASK = 0xFFFFFF
 QPN_MASK = 0xFFFFFF
 
+# Byte offsets of the fields P4CE rewrites in flight, *within* each packed
+# header.  The scatter/gather rewrite templates (repro.rdma.wiretemplate)
+# patch these offsets into a pre-rendered wire image instead of re-packing
+# the whole stack; the equivalence tests pin them against the codecs.
+BTH_ACKPSN_OFFSET = 8   # 32-bit AckReq|PSN word (after opcode/flags/pkey/QP)
+RETH_VA_OFFSET = 0      # 64-bit virtual address opens the RETH
+AETH_WORD_OFFSET = 0    # the single 32-bit syndrome|MSN word
+
 # Precompiled codecs (packed per packet on the hot path).
 _S_BTH = struct.Struct("!BBHII")
 _S_RETH = struct.Struct("!QII")
@@ -79,6 +87,24 @@ class Bth(Header):
         return Bth(self.opcode, self.dest_qp, self.psn, self.ack_req,
                    self.solicited, self.partition_key)
 
+    def clone_rewrite(self, psn: int, ack_req: bool) -> "Bth":
+        """Private copy with a rewritten PSN/AckReq word (template path).
+
+        Skips the constructor's Opcode coercion and masking -- the source
+        fields are already canonical -- and the guarded ``__setattr__``:
+        the clone starts unfrozen at version 0.
+        """
+        b = Bth.__new__(Bth)
+        _set(b, "_hver", 0)
+        _set(b, "_hpk", None)
+        _set(b, "opcode", self.opcode)
+        _set(b, "dest_qp", self.dest_qp)
+        _set(b, "psn", psn)
+        _set(b, "ack_req", ack_req)
+        _set(b, "solicited", self.solicited)
+        _set(b, "partition_key", self.partition_key)
+        return b
+
     def __repr__(self) -> str:
         return (f"BTH({self.opcode.name}, qp={self.dest_qp:#x}, psn={self.psn}"
                 f"{', ackreq' if self.ack_req else ''})")
@@ -110,6 +136,17 @@ class Reth(Header):
     def copy(self) -> "Reth":
         return Reth(self.virtual_address, self.r_key, self.dma_length)
 
+    def clone_rewrite(self, virtual_address: int) -> "Reth":
+        """Private copy with a rewritten VA (template path); R_key and DMA
+        length carry over from ``self`` (the template bakes them)."""
+        r = Reth.__new__(Reth)
+        _set(r, "_hver", 0)
+        _set(r, "_hpk", None)
+        _set(r, "virtual_address", virtual_address)
+        _set(r, "r_key", self.r_key)
+        _set(r, "dma_length", self.dma_length)
+        return r
+
     def __repr__(self) -> str:
         return f"RETH(va={self.virtual_address:#x}, rkey={self.r_key:#x}, len={self.dma_length})"
 
@@ -140,6 +177,16 @@ class Aeth(Header):
 
     def copy(self) -> "Aeth":
         return Aeth(self.syndrome, self.msn)
+
+    def clone_rewrite(self, syndrome: int, msn: int) -> "Aeth":
+        """Private copy with a rewritten syndrome/MSN (template path).
+        The caller passes canonical values (8-bit syndrome, masked MSN)."""
+        a = Aeth.__new__(Aeth)
+        _set(a, "_hver", 0)
+        _set(a, "_hpk", None)
+        _set(a, "syndrome", syndrome)
+        _set(a, "msn", msn)
+        return a
 
     def __repr__(self) -> str:
         return f"AETH(syndrome={self.syndrome:#04x}, msn={self.msn})"

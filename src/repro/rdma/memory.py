@@ -49,25 +49,26 @@ class MemoryRegion:
         self.access = access
         self.name = name
         self.buffer = bytearray(length)
-
-    @property
-    def end(self) -> int:
-        return self.addr + self.length
+        #: One past the last registered address.  Registration is
+        #: immutable (rereg changes permissions only), so the bound is
+        #: cached rather than recomputed in every bounds check.
+        self.end = addr + length
 
     def contains(self, va: int, length: int) -> bool:
         """True if [va, va+length) lies fully inside the region."""
         return self.addr <= va and va + length <= self.end and length >= 0
 
     def write(self, va: int, data: bytes) -> None:
-        if not self.contains(va, len(data)):
-            raise ValueError(f"write outside region {self.name!r}")
+        # contains() inlined: this and read() run per replicated entry.
         offset = va - self.addr
+        if offset < 0 or va + len(data) > self.end:
+            raise ValueError(f"write outside region {self.name!r}")
         self.buffer[offset:offset + len(data)] = data
 
     def read(self, va: int, length: int) -> bytes:
-        if not self.contains(va, length):
-            raise ValueError(f"read outside region {self.name!r}")
         offset = va - self.addr
+        if offset < 0 or length < 0 or va + length > self.end:
+            raise ValueError(f"read outside region {self.name!r}")
         return bytes(self.buffer[offset:offset + length])
 
     def allows(self, access: Access) -> bool:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
-from .. import params
+from .. import fastlane, params
 from ..net import (
     EthernetHeader,
     Ipv4Address,
@@ -56,6 +56,7 @@ from .opcodes import (
     syndrome_code,
     syndrome_value,
 )
+from .wiretemplate import ack_frame, tx_frame
 from .qp import (
     OutstandingRequest,
     QpState,
@@ -246,6 +247,13 @@ class RNic:
     def _frame(self, qp: QueuePair, upper: List[object], payload: bytes) -> Packet:
         """Wrap RoCE headers in Eth/IPv4/UDP toward the QP's peer."""
         assert qp.remote_ip is not None
+        if fastlane.flags.rewrite_templates:
+            pkt = tx_frame(qp.tx_templates, self.gateway_mac, self.mac,
+                           self.ip, qp.remote_ip, 49152 + (qp.qpn & 0x3FF),
+                           params.ROCE_UDP_PORT, upper, payload)
+            if pkt is not None:
+                return pkt
+            # Non-covered extension headers (atomics): object-build path.
         eth = EthernetHeader(self.gateway_mac, self.mac)
         ipv4 = Ipv4Header(self.ip, qp.remote_ip)
         # Ephemeral source port derived from the QPN (ECMP entropy).
@@ -268,7 +276,8 @@ class RNic:
         start = busy if busy > now else now
         finish = start + params.NIC_PACKET_GAP_NS
         self._tx_busy_until = finish
-        self.sim.schedule_at(finish + params.NIC_TX_LATENCY_NS, self._emit, packet)
+        self.sim.schedule_at_fire(finish + params.NIC_TX_LATENCY_NS, self._emit,
+                                  packet)
 
     def _emit(self, packet: Packet) -> None:
         if not self.powered:
@@ -279,13 +288,28 @@ class RNic:
         self.port.send(packet)
 
     def handle_packet(self, port: Port, packet: Packet) -> None:
-        """Link-side entry point (runs at frame arrival time)."""
+        """Link-side entry point (runs at frame arrival time).
+
+        The RX side only ever *reads* headers, so it goes through the
+        private slots (like :func:`repro.rdma.icrc.compute_icrc` does)
+        instead of the thaw-on-access properties -- a received packet's
+        copy-on-write shares stay intact, keeping the sender's cached
+        ICRC state valid for the receiver's check.
+        """
         if not self.powered:
+            if packet._pooled:
+                packet.release()
             return
-        if packet.ipv4 is None or packet.ipv4.dst != self.ip:
-            return  # not for us; a host NIC is not a router
+        ipv4 = packet._ipv4
+        if ipv4 is None or ipv4.dst != self.ip:
+            # Not for us; a host NIC is not a router.
+            if packet._pooled:
+                packet.release()
+            return
         if self._rx_inflight >= self.rx_queue_limit:
             self.rx_dropped += 1
+            if packet._pooled:
+                packet.release()
             return
         now = self.sim._now
         busy = self._rx_busy_until
@@ -293,25 +317,29 @@ class RNic:
         finish = start + self.rx_gap_ns
         self._rx_busy_until = finish
         self._rx_inflight += 1
-        self.sim.schedule_at(finish + params.NIC_RX_LATENCY_NS, self._rx_process, packet)
+        self.sim.schedule_at_fire(finish + params.NIC_RX_LATENCY_NS,
+                                  self._rx_process, packet)
 
     def _rx_process(self, packet: Packet) -> None:
         self._rx_inflight -= 1
-        if not self.powered:
-            return
-        self.packets_received += 1
-        udp = packet.udp
-        if udp is None:
-            return
-        if udp.dst_port == params.ROCE_UDP_PORT:
-            if self.tracer is not None and self.tracer.enabled:
-                self._trace("rx", packet)
-            self._roce_dispatch(packet)
-            return
-        handler = self.udp_handlers.get(udp.dst_port)
-        if handler is not None:
-            assert packet.ipv4 is not None
-            handler(packet.ipv4.src, udp.src_port, packet.payload)
+        if self.powered:
+            self.packets_received += 1
+            udp = packet._udp
+            if udp is not None:
+                if udp.dst_port == params.ROCE_UDP_PORT:
+                    if self.tracer is not None and self.tracer.enabled:
+                        self._trace("rx", packet)
+                    self._roce_dispatch(packet)
+                else:
+                    handler = self.udp_handlers.get(udp.dst_port)
+                    if handler is not None:
+                        assert packet._ipv4 is not None
+                        handler(packet._ipv4.src, udp.src_port, packet.payload)
+        # A switch fan-out leg is fully consumed once dispatched: recycle
+        # its shell.  Retained TX packets (retransmit window) are never
+        # pool-marked, so they can never be released here.
+        if packet._pooled:
+            packet.release()
 
     # ------------------------------------------------------------------
     # RoCE dispatch
@@ -329,16 +357,17 @@ class RNic:
         aeth: Optional[Aeth] = None
         atomic: Optional[AtomicEth] = None
         atomic_ack: Optional[AtomicAckEth] = None
-        for header in packet.upper:
-            if isinstance(header, Bth):
+        for header in packet._upper:  # read-only: keep COW shares intact
+            kind = type(header)  # headers are final classes
+            if kind is Bth:
                 bth = header
-            elif isinstance(header, Reth):
+            elif kind is Reth:
                 reth = header
-            elif isinstance(header, Aeth):
+            elif kind is Aeth:
                 aeth = header
-            elif isinstance(header, AtomicEth):
+            elif kind is AtomicEth:
                 atomic = header
-            elif isinstance(header, AtomicAckEth):
+            elif kind is AtomicAckEth:
                 atomic_ack = header
         if bth is None:
             return
@@ -346,7 +375,7 @@ class RNic:
         if qp is None or qp.state is QpState.ERROR:
             return  # silently dropped, requester will time out
         opcode = bth.opcode
-        assert packet.ipv4 is not None
+        assert packet._ipv4 is not None
         if opcode in WRITE_OPCODES:
             self._responder_write(qp, bth, reth, packet.payload)
         elif opcode is Opcode.RDMA_READ_REQUEST:
@@ -377,6 +406,18 @@ class RNic:
 
     def _respond(self, qp: QueuePair, opcode: Opcode, psn: int, syndrome: int,
                  payload: bytes = b"", ack_req: bool = False) -> None:
+        if opcode is Opcode.ACKNOWLEDGE and not ack_req and not payload \
+                and fastlane.flags.rewrite_templates:
+            # ACK/NAK frames dominate the responder's TX side; they carry
+            # no payload and a fixed header stack, so a per-QP pre-rendered
+            # frame (static Eth/IPv4/UDP/BTH prefix + 8 patched bytes)
+            # replaces the whole header-object build.
+            self._tx(ack_frame(qp.tx_templates, self.gateway_mac, self.mac,
+                               self.ip, qp.remote_ip,
+                               49152 + (qp.qpn & 0x3FF),
+                               params.ROCE_UDP_PORT, qp.remote_qpn, psn,
+                               syndrome, qp.msn))
+            return
         bth = Bth(opcode, qp.remote_qpn, psn, ack_req=ack_req)
         upper: List[object] = [bth]
         if opcode in (Opcode.ACKNOWLEDGE, Opcode.RDMA_READ_RESPONSE_FIRST,

@@ -167,6 +167,12 @@ class QueuePair:
         self.nak_count = 0
         self.retransmissions = 0
 
+        #: Pre-rendered Eth/IPv4/UDP TX frame templates, keyed by
+        #: (upper-header size, payload length); owned by
+        #: :mod:`repro.rdma.wiretemplate`, flushed on (re)connect because
+        #: the peer address is baked into the rendered bytes.
+        self.tx_templates: dict = {}
+
     # -- state transitions ----------------------------------------------------
 
     def connect(self, remote_ip: "Ipv4Address", remote_qpn: int,
@@ -181,6 +187,7 @@ class QueuePair:
         self.remote_qpn = remote_qpn & 0xFFFFFF
         self.next_psn = initial_psn & PSN_MASK
         self.expected_psn = expected_psn & PSN_MASK
+        self.tx_templates.clear()
         self.state = QpState.RTS
 
     def set_error(self) -> None:

@@ -13,15 +13,36 @@ Design notes
 * Cancellation is O(1): cancelled events stay in the heap but carry a
   tombstone flag and are skipped on pop.  A live ``pending_events`` counter
   (maintained on schedule/cancel/execute) keeps the pending count O(1) too,
-  instead of scanning the heap.
+  instead of scanning the heap.  Tombstones are counted, and when they
+  outnumber the live heap entries the heap is lazily compacted in place --
+  otherwise a timer that is re-armed per ACK (the retransmission timer)
+  grows the heap without bound between pops.
 * The heap stores ``(time, seq, event)`` tuples so ordering is resolved by
   C-level tuple comparison instead of a Python ``__lt__`` per sift step.
+  With the ``delivery_batching`` fast lane on, the heap instead stores
+  ``(time, seq, bucket)`` entries, each bucket a FIFO of same-tick events:
+  multicast fan-out schedules N link deliveries / parser slots / transmits
+  at identical times *back-to-back*, and a one-entry last-push memo
+  coalesces such a run into one heap push/pop instead of N (a memo miss
+  just opens another bucket for the timestamp; buckets hold contiguous
+  ``seq`` ranges, so heap order still equals scheduling order).  Within a
+  bucket events run in append order, which is scheduling order -- exactly
+  the ``(time, seq)`` order of the plain heap, so the execution sequence
+  is bit-identical between the two representations.
 * Events scheduled at exactly the current instant (zero-delay
   ``call_soon`` chains) bypass the heap through a same-timestamp FIFO
   deque.  This is safe because every event already *in* the heap at the
   current timestamp was scheduled earlier (lower ``seq``) and therefore
   must -- and does -- run first; events appended to the FIFO while the
   clock sits at ``now`` carry strictly larger sequence numbers.
+* :meth:`Simulator.schedule_at_fire` is ``schedule_at`` for fire-and-forget
+  callbacks: it returns no handle, so with the ``object_pools`` lane on the
+  kernel recycles the :class:`Event` object through a bounded freelist
+  after execution.  The per-frame hot sites (link delivery, pipeline
+  stages, NIC tx/rx) all use it.
+* The kernel lanes (``delivery_batching``, ``object_pools``) are sampled
+  once at :class:`Simulator` construction so a mid-run flag flip cannot
+  mix heap representations.
 * The kernel knows nothing about networks, NICs or switches; those are
   modelled as objects holding a reference to the kernel.  For diagnostics
   it can optionally count executed events per callback qualname
@@ -32,15 +53,23 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from .. import fastlane
+
+#: Max recycled Event objects kept on a simulator's freelist.
+_EVENT_POOL_CAP = 1024
+
+#: Heaps smaller than this are never compacted; the tombstone overhead is
+#: bounded by the threshold itself.
+_COMPACT_MIN_HEAP = 64
 
 
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_heaped",
+                 "_fire")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
                  sim: Optional["Simulator"] = None):
@@ -52,6 +81,13 @@ class Event:
         #: Owning simulator while the event is pending; cleared on
         #: execution so a late cancel() cannot corrupt the live counter.
         self._sim = sim
+        #: True while the event sits in the heap (as opposed to the
+        #: same-timestamp FIFO) -- cancelling a heaped event leaves a
+        #: tombstone that the compaction accounting must know about.
+        self._heaped = False
+        #: True for events created by schedule_at_fire() with pooling on:
+        #: no handle escaped, so the kernel may recycle the object.
+        self._fire = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
@@ -61,6 +97,11 @@ class Event:
             if sim is not None:
                 sim._pending -= 1
                 self._sim = None
+                if self._heaped:
+                    sim._tombstones += 1
+                    if (sim._tombstones * 2 > sim._heap_len
+                            and sim._heap_len >= _COMPACT_MIN_HEAP):
+                        sim._compact()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -82,7 +123,20 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        #: Plain mode: (time, seq, Event) tuples.  Bucketed mode:
+        #: (time, seq, bucket) entries, where bucket is
+        #: ``[next_index, event, event, ...]`` drained FIFO via the
+        #: leading index (no O(n) list.pop(0)).
+        self._heap: List[tuple] = []
+        #: Bucketed mode only: the most recently pushed bucket and its
+        #: timestamp.  Fan-out schedules its same-tick events
+        #: back-to-back, so a one-entry memo coalesces them without a
+        #: timestamp->bucket dict on the push path.  A memo miss simply
+        #: opens a second bucket for the same timestamp; buckets hold
+        #: contiguous seq ranges, so the (time, first-seq) heap order
+        #: still drains every same-tick event in scheduling order.
+        self._last_bucket: Optional[list] = None
+        self._last_time: float = -1.0
         #: Same-timestamp FIFO: events scheduled at exactly ``now``.
         #: Invariant: every queued event's time equals the current clock,
         #: so the deque is always drained before the clock advances.
@@ -91,6 +145,16 @@ class Simulator:
         self._running = False
         self._event_count: int = 0
         self._pending: int = 0
+        #: Events (live + tombstoned) currently stored in the heap.
+        self._heap_len: int = 0
+        #: Cancelled events still stored in the heap.
+        self._tombstones: int = 0
+        #: Recycled Event shells for schedule_at_fire (object_pools lane).
+        self._free: List[Event] = []
+        # Kernel lanes are per-simulator, sampled at construction: a flag
+        # flip mid-run must not mix heap representations.
+        self._bucketed: bool = fastlane.flags.delivery_batching
+        self._pooling: bool = fastlane.flags.object_pools
         #: When True, executed events are tallied per callback qualname in
         #: :attr:`component_counts` (cheap bool check per event when off).
         self.profile_components: bool = False
@@ -115,9 +179,24 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------------
 
-    # schedule() and schedule_at() share their body by hand: one extra
-    # Python call frame per scheduled event is measurable at the event
-    # rates the benchmarks run.
+    # schedule(), schedule_at() and schedule_at_fire() share their body by
+    # hand: one extra Python call frame per scheduled event is measurable
+    # at the event rates the benchmarks run.
+
+    def _push(self, time: float, seq: int, event: Event) -> None:
+        """Insert a future event into the heap (either representation)."""
+        event._heaped = True
+        self._heap_len += 1
+        if self._bucketed:
+            if time == self._last_time and self._last_bucket is not None:
+                self._last_bucket.append(event)
+            else:
+                bucket = [1, event]
+                self._last_bucket = bucket
+                self._last_time = time
+                heapq.heappush(self._heap, (time, seq, bucket))
+        else:
+            heapq.heappush(self._heap, (time, seq, event))
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now.
@@ -136,7 +215,7 @@ class Simulator:
         if time == now:
             self._soon.append(event)
         else:
-            heapq.heappush(self._heap, (time, seq, event))
+            self._push(time, seq, event)
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -154,12 +233,148 @@ class Simulator:
             # Zero-delay fast lane: no heap churn for call_soon chains.
             self._soon.append(event)
         else:
-            heapq.heappush(self._heap, (time, seq, event))
+            self._push(time, seq, event)
         return event
+
+    def schedule_at_fire(self, time: float, fn: Callable[..., Any],
+                         *args: Any) -> None:
+        """:meth:`schedule_at` for fire-and-forget callbacks.
+
+        Returns no handle, so the event cannot be cancelled -- and because
+        no reference escapes, the kernel may recycle the Event object
+        through a bounded freelist once it has run (``object_pools`` lane).
+        Semantically identical to ``schedule_at`` with the result ignored.
+        """
+        now = self._now
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule at t={time} ns; clock is already at {now} ns"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free and self._pooling:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event._sim = self
+        else:
+            event = Event(time, seq, fn, args, self)
+            event._fire = self._pooling
+        self._pending += 1
+        if time == now:
+            event._heaped = False
+            self._soon.append(event)
+            return
+        # _push() inlined: this is the dominant scheduling entry point and
+        # the extra call frame per event is measurable at benchmark rates.
+        event._heaped = True
+        self._heap_len += 1
+        if self._bucketed:
+            if time == self._last_time and self._last_bucket is not None:
+                self._last_bucket.append(event)
+            else:
+                bucket = [1, event]
+                self._last_bucket = bucket
+                self._last_time = time
+                heapq.heappush(self._heap, (time, seq, bucket))
+        else:
+            heapq.heappush(self._heap, (time, seq, event))
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at the current instant."""
         return self.schedule(0, fn, *args)
+
+    # -- queue maintenance --------------------------------------------------
+
+    def _drop_top(self, entry: tuple, was_cancelled: bool) -> None:
+        """Remove the next event (the one ``entry`` fronts) from the heap."""
+        if self._bucketed:
+            bucket = entry[2]
+            index = bucket[0]
+            if index + 1 == len(bucket):
+                heapq.heappop(self._heap)
+                if self._last_bucket is bucket:
+                    self._last_bucket = None
+            else:
+                bucket[0] = index + 1
+        else:
+            heapq.heappop(self._heap)
+        self._heap_len -= 1
+        if was_cancelled:
+            self._tombstones -= 1
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (both representations).
+
+        Mutates ``self._heap`` in place so hot loops holding a local alias
+        keep seeing the live structure.
+        """
+        heap = self._heap
+        if self._bucketed:
+            live: List[Event] = []
+            for entry in heap:
+                bucket = entry[2]
+                for index in range(bucket[0], len(bucket)):
+                    event = bucket[index]
+                    if not event.cancelled:
+                        live.append(event)
+            live.sort()
+            heap.clear()
+            self._last_bucket = None
+            bucket = None
+            bucket_time = None
+            for event in live:
+                # The live list is (time, seq)-sorted, so same-timestamp
+                # events are adjacent: one bucket per run suffices.
+                if bucket is None or event.time != bucket_time:
+                    bucket = [1, event]
+                    bucket_time = event.time
+                    heap.append((event.time, event.seq, bucket))
+                else:
+                    bucket.append(event)
+            heapq.heapify(heap)
+            self._heap_len = len(live)
+        else:
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._heap_len = len(heap)
+        self._tombstones = 0
+
+    def _pop_due(self, limit: Optional[float]) -> Optional[Event]:
+        """Pop and return the next runnable event, advancing the clock.
+
+        Returns None (clock untouched) when the queue is empty or the next
+        event lies strictly beyond ``limit``.
+        """
+        soon = self._soon
+        heap = self._heap
+        bucketed = self._bucketed
+        while True:
+            if soon and (not heap or heap[0][0] > self._now):
+                event = soon.popleft()
+                if event.cancelled:
+                    continue
+                return event
+            if not heap:
+                return None
+            entry = heap[0]
+            if bucketed:
+                bucket = entry[2]
+                event = bucket[bucket[0]]
+            else:
+                event = entry[2]
+            if event.cancelled:
+                self._drop_top(entry, True)
+                continue
+            if limit is not None and entry[0] > limit:
+                return None
+            self._drop_top(entry, False)
+            self._now = entry[0]
+            return event
 
     # -- execution ----------------------------------------------------------
 
@@ -178,22 +393,11 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the single next event.  Returns False if none remain."""
-        soon = self._soon
-        heap = self._heap
-        while True:
-            if soon and (not heap or heap[0][0] > self._now):
-                event = soon.popleft()
-                if event.cancelled:
-                    continue
-            elif heap:
-                time, _seq, event = heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self._now = time
-            else:
-                return False
-            self._execute(event)
-            return True
+        event = self._pop_due(None)
+        if event is None:
+            return False
+        self._execute(event)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -209,12 +413,15 @@ class Simulator:
         soon = self._soon
         heap = self._heap
         heappop = heapq.heappop
+        free = self._free
         bounded = max_events is not None
         profiled = self.profile_components
-        # Fast lane: execute inline, saving one Python call frame per
-        # event.  Slow lane dispatches through _execute -- the reference
-        # shape -- so the bench can measure the inlining honestly.
+        # Fast lanes: execute inline, saving one Python call frame per
+        # event, and recycle fire-and-forget events.  Slow lane dispatches
+        # through _execute -- the reference shape -- so the bench can
+        # measure the inlining honestly.
         inline = fastlane.flags.kernel_hotloop and not profiled
+        bucketed = self._bucketed
         try:
             # The hot loop is written long-hand (no shared pop function)
             # on purpose: at benchmark event rates every per-event frame
@@ -226,23 +433,65 @@ class Simulator:
                     event = soon.popleft()
                     if event.cancelled:
                         continue
+                elif bucketed:
+                    entry = heap[0]
+                    bucket = entry[2]
+                    index = bucket[0]
+                    event = bucket[index]
+                    if event.cancelled:
+                        if index + 1 == len(bucket):
+                            heappop(heap)
+                            if self._last_bucket is bucket:
+                                self._last_bucket = None
+                        else:
+                            bucket[0] = index + 1
+                        self._heap_len -= 1
+                        self._tombstones -= 1
+                        continue
+                    if until is not None and entry[0] > until:
+                        if until > self._now:
+                            self._now = until
+                        return
+                    if index + 1 == len(bucket):
+                        heappop(heap)
+                        if self._last_bucket is bucket:
+                            self._last_bucket = None
+                    else:
+                        bucket[0] = index + 1
+                    self._heap_len -= 1
+                    self._now = entry[0]
                 else:
                     entry = heap[0]
                     event = entry[2]
                     if event.cancelled:
                         heappop(heap)
+                        self._heap_len -= 1
+                        self._tombstones -= 1
                         continue
                     if until is not None and entry[0] > until:
                         if until > self._now:
                             self._now = until
                         return
                     heappop(heap)
+                    self._heap_len -= 1
                     self._now = entry[0]
                 if inline:
                     self._pending -= 1
                     self._event_count += 1
-                    event._sim = None
-                    event.fn(*event.args)
+                    if event._fire:
+                        # No handle escaped (schedule_at_fire), so no late
+                        # cancel() can observe _sim: skip clearing it.  The
+                        # stale fn/args references are left in place
+                        # (overwritten on reuse): clearing them per event
+                        # costs more than the transient pins are worth --
+                        # the pool is bounded, and packet recycling is
+                        # explicit (Packet.release), not GC-driven.
+                        event.fn(*event.args)
+                        if len(free) < _EVENT_POOL_CAP:
+                            free.append(event)
+                    else:
+                        event._sim = None
+                        event.fn(*event.args)
                 else:
                     self._execute(event)
                 executed += 1
@@ -271,35 +520,17 @@ class Simulator:
                     # check_every-sized steps) is the only honest answer.
                     return predicate()
             return predicate()
-        soon = self._soon
-        heap = self._heap
         while self._now <= deadline:
             if predicate():
                 return True
-            event_ran = False
-            while True:
-                if soon and (not heap or heap[0][0] > self._now):
-                    event = soon.popleft()
-                    if event.cancelled:
-                        continue
-                elif heap:
-                    entry = heap[0]
-                    event = entry[2]
-                    if event.cancelled:
-                        heapq.heappop(heap)
-                        continue
-                    if entry[0] > deadline:
-                        self._now = deadline
-                        return predicate()
-                    heapq.heappop(heap)
-                    self._now = entry[0]
-                else:
-                    break
-                self._execute(event)
-                event_ran = True
+            event = self._pop_due(deadline)
+            if event is None:
+                if self._soon or self._heap_len > self._tombstones:
+                    # Next event lies beyond the deadline.
+                    self._now = deadline
+                    return predicate()
                 break
-            if not event_ran:
-                break
+            self._execute(event)
         if not predicate() and self._now < deadline:
             self._now = deadline
         return predicate()

@@ -25,14 +25,18 @@ def cached_l3_forward(switch, packet: Packet,
     so the flow key is the destination; the per-packet MAC rewrite always
     runs.
     """
-    dst = packet.ipv4.dst.value
+    templates = fastlane.flags.rewrite_templates
+    dst = (packet._ipv4 if templates else packet.ipv4).dst.value
     if cache is None or not fastlane.flags.flow_cache:
         walk = _l3_walk(switch, dst)
         if walk is None:
             return IngressVerdict.drop()
         dst_mac, port = walk
-        packet.eth.src = switch.mac
-        packet.eth.dst = dst_mac
+        if templates:
+            packet.rewrite_macs(switch.mac, dst_mac)
+        else:
+            packet.eth.src = switch.mac
+            packet.eth.dst = dst_mac
         return IngressVerdict.unicast(port)
     key = ("l3", dst)
     cached = cache.get(key)
@@ -51,9 +55,12 @@ def cached_l3_forward(switch, packet: Packet,
     if result is None:
         return IngressVerdict.drop()
     dst_mac, verdict = result
-    eth = packet.eth
-    eth.src = switch.mac
-    eth.dst = dst_mac
+    if templates:
+        packet.rewrite_macs(switch.mac, dst_mac)
+    else:
+        eth = packet.eth
+        eth.src = switch.mac
+        eth.dst = dst_mac
     return verdict
 
 
@@ -78,7 +85,7 @@ class L3ForwardProgram(SwitchProgram):
         self._flow_cache = FlowVerdictCache(switch.l3_table)
 
     def on_ingress(self, in_port: int, packet: Packet) -> IngressVerdict:
-        if packet.ipv4 is None:
+        if packet._ipv4 is None:  # presence check only: no thaw needed
             return IngressVerdict.drop()
         return cached_l3_forward(self.switch, packet, self._flow_cache)
 

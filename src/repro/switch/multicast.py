@@ -15,7 +15,7 @@ connection-structure lookup on the rid.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 
 class MulticastCopy:
@@ -32,30 +32,43 @@ class MulticastCopy:
 
 
 class MulticastEngine:
-    """Replication-engine configuration: group id -> copies."""
+    """Replication-engine configuration: group id -> copies.
+
+    Copy lists are stored as immutable tuples: the ingress fan-out loop
+    iterates the lookup result on the per-packet path, and freezing it
+    guarantees no data-plane code can perturb a group between the
+    control-plane writes that define a flow epoch.  ``version`` counts
+    those writes -- the same epoch discipline the match-action tables use
+    (and that the egress rewrite templates key their invalidation on).
+    """
 
     def __init__(self, capacity: int = 1024):
         self.capacity = capacity
-        self._groups: Dict[int, List[MulticastCopy]] = {}
+        self._groups: Dict[int, Tuple[MulticastCopy, ...]] = {}
+        #: Bumped on every control-plane write (create/update/delete).
+        self.version = 0
 
-    def create_group(self, group_id: int, copies: List[MulticastCopy]) -> None:
+    def create_group(self, group_id: int, copies: Sequence[MulticastCopy]) -> None:
         if group_id not in self._groups and len(self._groups) >= self.capacity:
             raise RuntimeError("multicast engine is full")
         if not copies:
             raise ValueError("a multicast group needs at least one copy")
-        self._groups[group_id] = list(copies)
+        self._groups[group_id] = tuple(copies)
+        self.version += 1
 
-    def update_group(self, group_id: int, copies: List[MulticastCopy]) -> None:
+    def update_group(self, group_id: int, copies: Sequence[MulticastCopy]) -> None:
         if group_id not in self._groups:
             raise KeyError(f"unknown multicast group {group_id}")
         if not copies:
             raise ValueError("a multicast group needs at least one copy")
-        self._groups[group_id] = list(copies)
+        self._groups[group_id] = tuple(copies)
+        self.version += 1
 
     def delete_group(self, group_id: int) -> None:
         self._groups.pop(group_id, None)
+        self.version += 1
 
-    def lookup(self, group_id: int) -> Optional[List[MulticastCopy]]:
+    def lookup(self, group_id: int) -> Optional[Tuple[MulticastCopy, ...]]:
         return self._groups.get(group_id)
 
     def __contains__(self, group_id: int) -> bool:

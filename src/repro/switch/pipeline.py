@@ -173,7 +173,7 @@ class Switch:
         done = start + self.parser_gap_ns
         self._ingress_parser_busy[index] = done
         packet.meta["ingress_port"] = index
-        self.sim.schedule_at(done, self._run_ingress, index, packet)
+        self.sim.schedule_at_fire(done, self._run_ingress, index, packet)
 
     def _run_ingress(self, in_port: int, packet: Packet) -> None:
         if not self.powered or self.program is None:
@@ -204,7 +204,7 @@ class Switch:
         # instead of paying for one more copy.
         last = len(copies) - 1
         for i, copy in enumerate(copies):
-            replica = packet if i == last else packet.copy()
+            replica = packet if i == last else packet.fanout_copy()
             replica.meta["replication_id"] = copy.replication_id
             self._to_egress(copy.egress_port, copy.replication_id, replica, tm_time)
 
@@ -212,27 +212,36 @@ class Switch:
                    ready_time: float) -> None:
         if not 0 <= out_port < len(self.ports):
             self.drops += 1
+            if packet._pooled:
+                packet.release()
             return
         busy = self._egress_parser_busy[out_port]
         start = busy if busy > ready_time else ready_time
         done = start + self.parser_gap_ns
         self._egress_parser_busy[out_port] = done
-        self.sim.schedule_at(done, self._run_egress, out_port, replication_id, packet)
+        self.sim.schedule_at_fire(done, self._run_egress, out_port,
+                                  replication_id, packet)
 
     def _run_egress(self, out_port: int, replication_id: int, packet: Packet) -> None:
         if not self.powered or self.program is None:
+            if packet._pooled:
+                packet.release()
             return
         self.counters[out_port].egress_runs += 1
         keep = self.program.on_egress(out_port, replication_id, packet)
         if not keep:
             self.drops += 1
+            if packet._pooled:
+                packet.release()
             return
         packet.finalize()
-        self.sim.schedule_at(self.sim._now + self.pipeline_latency_ns / 2,
-                             self._transmit, out_port, packet)
+        self.sim.schedule_at_fire(self.sim._now + self.pipeline_latency_ns / 2,
+                                  self._transmit, out_port, packet)
 
     def _transmit(self, out_port: int, packet: Packet) -> None:
         if not self.powered:
+            if packet._pooled:
+                packet.release()
             return
         self.counters[out_port].tx_frames += 1
         self.ports[out_port].send(packet)

@@ -28,9 +28,11 @@ Exits non-zero if any determinism assertion fails.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import gc
 import hashlib
 import json
+import pstats
 import struct
 import sys
 import time
@@ -83,7 +85,8 @@ def _install_trace_digest(cluster) -> "hashlib._Hash":
     return digest
 
 
-def run_lane(spec: dict, lane_on: bool, warmup_ns: float, window_ns: float) -> dict:
+def run_lane(spec: dict, lane_on: bool, warmup_ns: float, window_ns: float,
+             profile: bool = False) -> dict:
     """One workload, one lane setting, one fresh cluster."""
     fastlane.flags.set_all(lane_on)
     try:
@@ -102,9 +105,20 @@ def run_lane(spec: dict, lane_on: bool, warmup_ns: float, window_ns: float) -> d
         # lanes run the measured window with collection off.
         gc_was_enabled = gc.isenabled()
         gc.disable()
+        profiler = None
+        if profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
         t0 = time.perf_counter()
         cluster.run_for(window_ns)
         wall = time.perf_counter() - t0
+        if profiler is not None:
+            profiler.disable()
+            lane_name = "fast" if lane_on else "slow"
+            print(f"\n-- cProfile, {lane_name} lane, measured window "
+                  f"(top 20 by cumulative time) --")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(20)
         if gc_was_enabled:
             gc.enable()
         driver.throughput.close(cluster.sim.now)
@@ -132,7 +146,7 @@ _DETERMINISM_KEYS = ("events_executed", "trace_digest", "ops_per_sec",
 
 
 def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
-                 repeats: int) -> dict:
+                 repeats: int, profile: bool = False) -> dict:
     """Run both lanes ``repeats`` times; keep best wall clock per lane.
 
     The lanes are interleaved (fast, slow, fast, slow, ...) so slow
@@ -141,9 +155,13 @@ def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
     """
     lanes = {"fast": None, "slow": None}
     failures = []
-    for _ in range(repeats):
+    for repeat in range(repeats):
         for lane_on, lane_name in ((True, "fast"), (False, "slow")):
-            result = run_lane(spec, lane_on, warmup_ns, window_ns)
+            # Profile only the first repeat of each lane: the hot spots do
+            # not change between repeats, and the profiler's overhead would
+            # poison every repeat's wall clock otherwise.
+            result = run_lane(spec, lane_on, warmup_ns, window_ns,
+                              profile=profile and repeat == 0)
             best = lanes[lane_name]
             if best is None:
                 lanes[lane_name] = result
@@ -189,6 +207,9 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     parser.add_argument("--workload", choices=sorted(WORKLOADS), default=None,
                         help="run a single workload instead of all")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the measured window in cProfile and print "
+                             "the top-20 cumulative hot spots per lane")
     args = parser.parse_args(argv)
 
     warmup_ns = 0.3 * MS if args.quick else 1 * MS
@@ -211,7 +232,8 @@ def main(argv=None) -> int:
         print(f"[{name}] running fast + slow lanes "
               f"({repeats} repeat(s), {window_ns / MS:g} ms window)...")
         result = run_workload(name, WORKLOADS[name], warmup_ns=warmup_ns,
-                              window_ns=window_ns, repeats=repeats)
+                              window_ns=window_ns, repeats=repeats,
+                              profile=args.profile)
         report["workloads"][name] = result
         fast, slow = result["fast"], result["slow"]
         print(f"  fast: {fast['events_per_sec'] / 1e3:8.1f}k events/s  "
@@ -228,8 +250,13 @@ def main(argv=None) -> int:
             for failure in result["determinism_failures"]:
                 print(f"  DETERMINISM FAILURE: {failure}")
 
-    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {args.output}")
+    if args.profile:
+        # Profiled windows carry instrumentation overhead; never let them
+        # masquerade as a comparable BENCH_* data point.
+        print(f"skipping {args.output} (profiled timings are not comparable)")
+    else:
+        args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
     return 0 if ok else 1
 
 
