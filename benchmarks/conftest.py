@@ -9,10 +9,55 @@ factor, where the knees fall.
 from __future__ import annotations
 
 import os
+import re
 
-#: Paper-style tables are also appended here, so they survive pytest's
-#: stdout capture when the suite is run without ``-s``.
+#: Paper-style tables also land here, so they survive pytest's stdout
+#: capture when the suite is run without ``-s``.  The file holds one
+#: block per table title: re-running a benchmark rewrites its block in
+#: place instead of appending a duplicate forever.
 RESULTS_FILE = os.path.join(os.path.dirname(__file__), "latest_results.txt")
+
+_BLOCK_HEADER = re.compile(r"^=== (?P<title>.+) ===$", re.MULTILINE)
+
+
+def _parse_blocks(text: str):
+    """Split the results file into an ordered list of (title, body).
+
+    A block runs from its ``=== title ===`` header up to the next header
+    (or EOF); duplicated titles -- leftovers from the old append-forever
+    format -- collapse to the *last* occurrence, which is the freshest.
+    """
+    blocks = []
+    seen = {}
+    matches = list(_BLOCK_HEADER.finditer(text))
+    for i, match in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        title = match.group("title")
+        body = text[match.start():end].rstrip("\n")
+        if title in seen:
+            blocks[seen[title]] = (title, body)
+        else:
+            seen[title] = len(blocks)
+            blocks.append((title, body))
+    return blocks
+
+
+def _write_block(title: str, body: str) -> None:
+    """Replace (or append) the block for ``title`` in the results file."""
+    try:
+        with open(RESULTS_FILE) as fh:
+            blocks = _parse_blocks(fh.read())
+    except FileNotFoundError:
+        blocks = []
+    for i, (existing, _) in enumerate(blocks):
+        if existing == title:
+            blocks[i] = (title, body)
+            break
+    else:
+        blocks.append((title, body))
+    with open(RESULTS_FILE, "w") as fh:
+        for _, block in blocks:
+            fh.write("\n" + block + "\n\n")
 
 
 def print_table(title: str, headers, rows) -> None:
@@ -20,11 +65,9 @@ def print_table(title: str, headers, rows) -> None:
     widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
               for i, h in enumerate(headers)]
     line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
-    out = ["", f"=== {title} ===", line, "-" * len(line)]
+    out = [f"=== {title} ===", line, "-" * len(line)]
     for row in rows:
         out.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
-    out.append("")
-    text = "\n".join(out)
-    print(text)
-    with open(RESULTS_FILE, "a") as fh:
-        fh.write(text + "\n")
+    body = "\n".join(out)
+    print("\n" + body + "\n")
+    _write_block(title, body)

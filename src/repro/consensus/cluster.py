@@ -27,6 +27,7 @@ from ..p4ce.controlplane import P4ceControlPlane
 from ..p4ce.dataplane import P4ceProgram
 from ..rdma.host import Host
 from ..sim import SeededRng, Simulator, Tracer
+from ..sim.flight import FlightPlanner
 from ..switch.forwarding import L3ForwardProgram
 from ..switch.pipeline import Switch
 from .config import ClusterConfig
@@ -42,6 +43,9 @@ class Cluster:
         self.sim = Simulator()
         self.rng = SeededRng(config.seed)
         self.tracer = Tracer(self.sim, enabled=config.trace)
+        # Flight fusion (fast lane 9): attaches itself to the simulator;
+        # inert unless the lane flag is on and a clean path validates.
+        self.flight_planner = FlightPlanner(self.sim, tracer=self.tracer)
         self._alloc = AddressAllocator()
         self._backup_alloc = AddressAllocator(subnet="10.0.1.0",
                                               mac_prefix=0x02_00_01_00_00_00)

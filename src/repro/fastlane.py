@@ -5,7 +5,7 @@ identical with the fast lanes on or off; the flags exist so that
 ``tools/bench_sim.py`` can *prove* it by running the same workload both
 ways and comparing ``events_executed`` and the packet-trace digest.
 
-Four lanes, mirroring the optimisations described in ``docs/PERF.md``:
+Nine lanes, mirroring the optimisations described in ``docs/PERF.md``:
 
 ``cow_packets``
     :meth:`repro.net.packet.Packet.copy` shares frozen headers instead of
@@ -58,6 +58,19 @@ Four lanes, mirroring the optimisations described in ``docs/PERF.md``:
     construction -- the cursor arithmetic already guarantees it -- and
     decode the same bytes, so consumed entries are bit-identical.
 
+``flight_fusion``
+    Clean-path consensus flights (single-packet write on a healthy
+    broadcast path) are computed hop by hop in a planner-owned timeline
+    drained in exact ``(time, seq)`` order instead of costing one kernel
+    event per hop (:mod:`repro.sim.flight`).  Specialized express stages
+    mirror each real handler's observable effects -- wire bytes, busy
+    horizons, registers, counters, trace taps -- and only the terminal
+    leader-completion hop runs the real handler; anything a stage cannot
+    prove clean falls back to the real handler at the warped clock.
+    Faults, control-plane writes, NAKs and retransmissions materialize
+    pending hops back into ordinary events and disable fusion until
+    recovery.
+
 All lanes default to on.  ``REPRO_FASTLANE=off`` (or ``0``/``false``)
 disables all of them for a process; ``enable()`` / ``disable()`` flip them
 at runtime (takes effect for packets processed afterwards -- benchmarks
@@ -71,7 +84,7 @@ import os
 
 _LANES = ("cow_packets", "incremental_icrc", "flow_cache", "kernel_hotloop",
           "rewrite_templates", "object_pools", "delivery_batching",
-          "hot_reads")
+          "hot_reads", "flight_fusion")
 
 
 class _Flags:

@@ -50,6 +50,27 @@ class FaultInjector:
     def _record(self, kind: str, target: Any = None) -> None:
         self.journal.append(FaultRecord(self.cluster.sim.now, kind, target))
 
+    # Flight-fusion invalidation: every injected fault must disengage the
+    # planner before its effects can race a fused flight.  The device
+    # hooks (Link.set_down, Switch.power_off, RNic.power_off, the
+    # drop_probability setter) already notify the planner for devices it
+    # watches; these calls make the notification unconditional, covering
+    # devices no fused path has traversed yet.  Both are idempotent --
+    # the planner keys armed faults by device identity.
+
+    def _planner(self):
+        return getattr(self.cluster.sim, "_flight_planner", None)
+
+    def _planner_fault(self, device: Any) -> None:
+        planner = self._planner()
+        if planner is not None and device is not None:
+            planner.on_fault(device)
+
+    def _planner_heal(self, device: Any, still_faulty: bool = False) -> None:
+        planner = self._planner()
+        if planner is not None and device is not None:
+            planner.on_heal(device, still_faulty)
+
     # -- process faults ------------------------------------------------------------
 
     def kill_app(self, node_id: int) -> None:
@@ -62,16 +83,21 @@ class FaultInjector:
         """Power the machine off entirely."""
         self._record("crash_host", node_id)
         self.cluster.crash_host(node_id)
+        host = self.cluster.hosts[node_id]
+        for nic in (host.nic, host.backup_nic):
+            self._planner_fault(nic)
 
     # -- switch faults -------------------------------------------------------------
 
     def crash_switch(self) -> None:
         self._record("crash_switch", "primary")
         self.cluster.crash_switch()
+        self._planner_fault(self.cluster.switch)
 
     def revive_switch(self) -> None:
         self._record("revive_switch", "primary")
         self.cluster.revive_switch()
+        self._planner_heal(self.cluster.switch)
 
     # -- link impairments -----------------------------------------------------------
 
@@ -89,6 +115,10 @@ class FaultInjector:
         if link is not None:
             self._record("set_loss", (node_id, probability))
             link.drop_probability = probability
+            if probability > 0.0:
+                self._planner_fault(link)
+            else:
+                self._planner_heal(link, still_faulty=not link.up)
 
     def partition_host(self, node_id: int, backup_too: bool = True) -> None:
         """Unplug a host (its NICs stay up; the cables go dark)."""
@@ -97,6 +127,7 @@ class FaultInjector:
             link = self._host_link(node_id, backup)
             if link is not None:
                 link.set_down()
+                self._planner_fault(link)
 
     def heal_host(self, node_id: int) -> None:
         self._record("heal", node_id)
@@ -105,6 +136,7 @@ class FaultInjector:
             if link is not None:
                 link.set_up()
                 link.drop_probability = 0.0
+                self._planner_heal(link)
 
 
 class _ScheduledAt:

@@ -100,6 +100,11 @@ class _Direction:
 class Link:
     """Full-duplex cable between two ports."""
 
+    #: Flight-fusion planner watching this link (set lazily when a fused
+    #: path first traverses it).  Any fault -- cable cut or loss
+    #: probability -- must disengage fusion before taking effect.
+    _flight_watch = None
+
     def __init__(self, sim: Simulator, a: Port, b: Port,
                  rate_bps: int = params.LINK_RATE_BPS,
                  propagation_ns: float = params.LINK_PROPAGATION_NS,
@@ -114,7 +119,7 @@ class Link:
         self.propagation_ns = propagation_ns
         self.name = name or f"{a.name}<->{b.name}"
         self.up = True
-        self.drop_probability = 0.0
+        self._drop_probability = 0.0
         self._rng = rng or SeededRng(0)
         # Per-direction transmitter state (FIFO serialization queue).
         self._dir_a = _Direction(b)
@@ -137,10 +142,41 @@ class Link:
     def serialization_ns(self, packet: Packet) -> float:
         return params.serialization_ns(packet.wire_size, self.rate_bps)
 
+    def serialization_ns_for(self, wire_size: int) -> float:
+        """Serialization time for a frame of ``wire_size`` bytes --
+        term for term the arithmetic of :meth:`transmit`, for analytic
+        occupancy queries (flight fusion) without a packet in hand."""
+        on_wire = wire_size if wire_size > _MIN_FRAME else _MIN_FRAME
+        return (on_wire + _WIRE_OVERHEAD) * 8 * 1e9 / self.rate_bps
+
+    def direction_from(self, src: Port) -> _Direction:
+        """The transmitter state for frames leaving ``src`` (analytic
+        occupancy queries; treat as read-only)."""
+        if src is self.a:
+            return self._dir_a
+        if src is self.b:
+            return self._dir_b
+        raise ValueError(f"{src!r} is not an end of {self.name}")
+
     def queue_delay(self, src: Port) -> float:
         """Time a frame submitted now would wait before serialization."""
         d = self._dir_a if src is self.a else self._dir_b
         return max(0.0, d.busy_until - self._sim.now)
+
+    @property
+    def drop_probability(self) -> float:
+        """Per-frame loss probability (0.0 = lossless)."""
+        return self._drop_probability
+
+    @drop_probability.setter
+    def drop_probability(self, probability: float) -> None:
+        self._drop_probability = probability
+        watch = self._flight_watch
+        if watch is not None:
+            if probability > 0.0:
+                watch.on_fault(self)
+            else:
+                watch.on_heal(self, still_faulty=not self.up)
 
     def transmit(self, src: Port, packet: Packet) -> bool:
         """Serialize a frame from ``src`` toward the opposite port.
@@ -173,8 +209,8 @@ class Link:
         stats.bytes += wire_size
         if self.tap is not None:
             self.tap(src, packet)
-        if not self.up or (self.drop_probability > 0.0
-                           and self._rng.chance(self.drop_probability)):
+        drop = self._drop_probability  # private read: property is off the hot path
+        if not self.up or (drop > 0.0 and self._rng.chance(drop)):
             stats.dropped += 1
             if packet._pooled:
                 packet.release()
@@ -203,9 +239,15 @@ class Link:
     def set_down(self) -> None:
         """Cut the cable: all frames (queued and future) are lost."""
         self.up = False
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_fault(self)
 
     def set_up(self) -> None:
         self.up = True
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_heal(self, still_faulty=self._drop_probability > 0.0)
 
     def stats_from(self, port: Port) -> DirectionStats:
         return self.stats[id(port)]

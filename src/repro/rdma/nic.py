@@ -66,6 +66,7 @@ from .qp import (
     WrOpcode,
     psn_add,
     psn_distance,
+    psn_not_before,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,6 +86,10 @@ UdpHandler = Callable[[Ipv4Address, int, bytes], None]
 
 class RNic:
     """One RoCE v2 network adapter with a single 100 GbE port."""
+
+    #: Flight-fusion planner watching this NIC (set lazily when a fused
+    #: path first traverses it); power-off must disengage fusion.
+    _flight_watch = None
 
     def __init__(self, sim: Simulator, host: "Host", name: str,
                  mac: MacAddress, ip: Ipv4Address,
@@ -193,8 +198,16 @@ class RNic:
         qp.next_psn = psn_add(last_psn, 1)
         out = OutstandingRequest(wr, first_psn, last_psn, packets, self.sim.now)
         qp.outstanding.append(out)
-        for pkt in packets:
-            self._tx(pkt)
+        # Flight fusion (lane 9): a single-packet write on a clean
+        # broadcast path is captured and replayed by the planner instead
+        # of being scheduled hop by hop; everything else takes the
+        # ordinary per-packet TX path.
+        planner = self.sim._flight_planner
+        if (planner is None or wr.opcode is not WrOpcode.RDMA_WRITE
+                or len(packets) != 1
+                or not planner.try_fuse(self, qp, first_psn, packets[0])):
+            for pkt in packets:
+                self._tx(pkt)
         self._arm_retx(qp)
 
     def _build_write_or_send(self, qp: QueuePair, wr: WorkRequest,
@@ -445,7 +458,7 @@ class RNic:
         """
         if bth.psn == qp.expected_psn:
             return True
-        if psn_distance(bth.psn, qp.expected_psn) < PSN_HALF:
+        if psn_not_before(qp.expected_psn, bth.psn):
             # Duplicate of something already processed: re-ACK so that a
             # lost ACK does not wedge the requester.
             if bth.ack_req or bth.opcode in (Opcode.RDMA_WRITE_LAST,
@@ -623,7 +636,7 @@ class RNic:
                 # can heal only if that PSN is still in our window.
                 oldest = qp.oldest_unacked_psn()
                 healable = (oldest is not None
-                            and psn_distance(oldest, bth.psn) < PSN_HALF)
+                            and psn_not_before(bth.psn, oldest))
                 if not healable and self.on_unhealable_nak is not None:
                     self.on_unhealable_nak(qp)
                     return
@@ -641,7 +654,7 @@ class RNic:
             head = qp.outstanding[0]
             if head.is_read:
                 break  # reads complete on response data, not ACKs
-            if psn_distance(head.last_psn, ack_psn) >= PSN_HALF:
+            if not psn_not_before(ack_psn, head.last_psn):
                 break  # ack is older than this request's end
             qp.outstanding.popleft()
             qp.requests_completed += 1
@@ -707,6 +720,12 @@ class RNic:
         """Go-back-N: re-send every outstanding packet in order."""
         if qp.state is not QpState.RTS:
             return
+        planner = self.sim._flight_planner
+        if planner is not None:
+            # Retransmissions (NAK heal, RNR backoff, timeout) invalidate
+            # fusion: materialize in-flight fused work and re-engage only
+            # from the first PSN issued after recovery.
+            planner.on_retransmit(qp)
         for out in qp.outstanding:
             for pkt in out.packets:
                 self._tx(pkt.copy())
@@ -774,6 +793,9 @@ class RNic:
     def power_off(self) -> None:
         """Crash the NIC along with its host: drop everything."""
         self.powered = False
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_fault(self)
         for timer in self._retx_timers.values():
             timer.stop()
 

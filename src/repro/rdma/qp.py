@@ -41,6 +41,15 @@ def psn_in_window(psn: int, start: int, length: int) -> bool:
     return psn_distance(start, psn) < length
 
 
+def psn_not_before(psn: int, reference: int) -> bool:
+    """True if ``psn`` is at or ahead of ``reference`` in the circular
+    24-bit space (i.e. ``reference`` -> ``psn`` is a forward hop of less
+    than half the space).  The canonical "is this ACK/PSN new enough?"
+    comparison used by cumulative completion, NAK healing and fusion
+    re-engagement."""
+    return (psn - reference) & PSN_MASK < (PSN_MASK + 1) // 2
+
+
 class QpState(enum.Enum):
     RESET = "reset"
     INIT = "init"

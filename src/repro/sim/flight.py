@@ -1,0 +1,990 @@
+"""Flight fusion (fast lane 9): the clean-path consensus round trip as one
+precomputed event timeline instead of O(n) scheduled kernel events.
+
+P4CE's whole point is that one consensus round is *one* leader request and
+*one* switch-gathered response -- yet simulating it costs ``7n + 7`` kernel
+events per PSN (leader TX, switch ingress, n scatter legs, n replica RX,
+n ACKs, switch gather, leader RX) even when nothing interesting happens.
+Lane 9 stops paying the kernel for that machinery on the clean path, the
+same move switch-based designs (P4xos, Paxos made switch-y) make in
+hardware: treat the group round trip as a single pipeline stage.
+
+How it works -- the express pipeline
+------------------------------------
+
+When a single-packet consensus write launches on a validated path, the
+:class:`FlightPlanner` computes the flight hop by hop with specialized
+*express* stage methods instead of scheduling kernel events:
+
+1. **Hops live in a planner-owned heap** (``sim._flight_queue``) as
+   ``(virtual_time, seq, real_fn, real_args, flight, express_fn, ctx)``
+   tuples.  Each push consumes the *kernel's* sequence counter at exactly
+   the intra-hop points the slow lane's ``schedule_at_fire`` calls would
+   have, so timestamp ties against real events resolve in slow-lane order
+   -- and ``(real_fn, real_args)`` is precisely the event the slow lane
+   would have scheduled, which makes de-fusion trivially exact.
+
+2. **Express stages mirror the real handlers field for field.**  Each
+   ``_x_*`` method replays the observable effects of one hop -- link
+   serialization horizons and byte counters, parser busy windows, switch
+   counters, flow-cache hit counters, register cells, QP cursors, memory
+   writes -- using the same arithmetic expressions as the real code, then
+   computes the successor hop from live device state and pushes it.  The
+   packets carry real rewritten bytes (``scatter_rewrite``/``ack_frame``
+   wire templates), so trace digests are bit-identical.  Anything the
+   stage cannot prove clean (cache miss, unexpected header shape, foreign
+   QP state, full RX queue) falls back by invoking the hop's *real*
+   handler at the warped clock -- never half-applied, because every probe
+   precedes the first mutation.
+
+3. **The kernel drains due hops before any later event** (see
+   ``Simulator.run``): a heartbeat or timer never observes a replica log,
+   credit register or link horizon the slow lane would have already
+   advanced.  Each drained hop credits ``events_executed``, keeping the
+   event count bit-identical.  The final hop (leader RX of the aggregated
+   ACK) runs the real handler so the CQE -> commit -> next-proposal
+   cascade schedules real events.  One cancellable *phantom* event per
+   flight keeps the kernel's heap non-empty while hops are pending; it is
+   cancelled when the flight completes and debits itself from the event
+   count if it ever fires, so it is invisible.
+
+4. **Falls back transparently.**  The moment a fault injector arms (link
+   down or lossy, switch or NIC power-off), a control-plane write touches
+   any traversed table/register/multicast group, or a NAK/retransmission
+   taints a QP, every pending hop is re-materialized as an ordinary
+   kernel event at its exact virtual time and original seq, and fusion
+   stays off until the fault heals (taint clears at the first fresh PSN).
+   Gather-register slot wrap (``NumRecv``'s 256-slot reuse) needs no
+   fallback at all: the express gather executes the same masked
+   register-cell arithmetic as the real RegisterActions, so reuse is
+   exact.
+
+The fast-vs-slow digest harness (``tools/bench_sim.py``) proves all of
+this end to end: identical ``events_executed``, metrics and packet-trace
+digests on every workload, including fault sweeps where fusion disengages
+and re-engages mid-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Set
+
+from .. import fastlane, params
+from ..p4ce.dataplane import EMPTY_CREDIT, _K_GATHER, _K_SCATTER
+from ..rdma.headers import Aeth, Bth, Reth
+from ..rdma.icrc import check_icrc, stamp_icrc
+from ..rdma.memory import Access
+from ..rdma.opcodes import AethCode, Opcode, make_syndrome, saturate_credits
+from ..rdma.qp import QpState, psn_add
+from ..rdma.wiretemplate import ack_frame, scatter_rewrite
+from .kernel import Event, Simulator
+from .trace import Tracer
+
+#: Half the 24-bit PSN space, for "not before" window comparisons.
+_PSN_HALF = 1 << 23
+
+# Wire/NIC timing constants hoisted for the express stages (physical-layer
+# invariants, never reconfigured at runtime).
+_MIN_FRAME = params.ETHERNET_MIN_FRAME_BYTES
+_WIRE_OVERHEAD = params.ETHERNET_WIRE_OVERHEAD_BYTES
+_TX_GAP = params.NIC_PACKET_GAP_NS
+_TX_LAT = params.NIC_TX_LATENCY_NS
+_RX_LAT = params.NIC_RX_LATENCY_NS
+_ROCE_PORT = params.ROCE_UDP_PORT
+_NUMRECV_SLOTS = params.NUMRECV_SLOTS
+_INITIAL_CREDITS = params.INITIAL_CREDITS
+_OP_WRITE_ONLY = Opcode.RDMA_WRITE_ONLY
+_OP_ACK = Opcode.ACKNOWLEDGE
+
+#: The phantom is armed strictly *after* the estimated completion so the
+#: final hop always wins the (time, seq) race in the drain loop: in steady
+#: state the phantom is cancelled at completion and never fires.
+_PHANTOM_SLACK = 1.0
+
+
+class FusedFlight:
+    """One in-flight fused consensus round."""
+
+    __slots__ = ("qp", "first_psn", "pending", "latest_vt", "phantom", "t0",
+                 "done")
+
+    def __init__(self, qp, first_psn: int):
+        self.qp = qp
+        self.first_psn = first_psn
+        #: Hops of this flight still sitting in the hop queue.
+        self.pending = 0
+        #: Largest pushed virtual time (phantom re-arm horizon).
+        self.latest_vt = 0.0
+        #: The cancellable phantom event (None once finished).
+        self.phantom = None
+        #: Launch instant (per-path duration estimate learning).
+        self.t0 = 0.0
+        self.done = False
+
+
+class _FusedPath:
+    """Everything the express stages need about one broadcast QP's path,
+    resolved once per control-plane epoch: devices, link directions,
+    caches, register cells and timing constants."""
+
+    __slots__ = ("epoch", "nic", "nic_port", "switch", "program",
+                 "leader_link", "leader_in_port", "switch_port", "dir_up",
+                 "dir_down", "scatter_key", "fc", "ecache", "tcache",
+                 "numrecv_cells", "numrecv_mask", "credit_regs",
+                 "credit_agg", "stamp", "half_pipe", "pgap", "legs",
+                 "est_dur")
+
+
+class _FusedLeg:
+    """One scatter/gather leg of a fused path (one replica)."""
+
+    __slots__ = ("path", "rid", "out_port", "eg_port", "link", "dir_down",
+                 "dir_back", "rport", "rnic", "rqp", "rqpn", "aggr_qpn",
+                 "ack_sport", "gather_key")
+
+
+class FlightPlanner:
+    """Validates and computes fused consensus flights.
+
+    One planner per :class:`~repro.sim.kernel.Simulator`; constructing it
+    attaches the drain hook the kernel polls before executing events.
+    """
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
+        self._sim = sim
+        self._tracer = tracer
+        #: Global hop heap, shared with the kernel (``sim._flight_queue``):
+        #: (vt, seq, real_fn, real_args, flight, express_fn, ctx) tuples.
+        self._fq: List[tuple] = sim._flight_queue
+        #: Fault sources currently armed (ids of faulted devices).  Any
+        #: entry disables fusion entirely.
+        self._armed: Set[int] = set()
+        #: QPs that saw a NAK/retransmission -> first trustworthy PSN.
+        self._tainted: Dict[Any, int] = {}
+        #: Live fused flights (for de-fusion bookkeeping).
+        self._flights: Set[FusedFlight] = set()
+        #: Resolved paths keyed by (leader nic id, qpn).
+        self._paths: Dict[tuple, _FusedPath] = {}
+        #: Control-plane epoch: bumped by every table/register/multicast
+        #: write on a watched device; cached paths pin the epoch they were
+        #: resolved against.
+        self._epoch = 0
+        #: Defusion generation: bumped whenever pending work materializes
+        #: (mid-stage guard -- see _x_replica_rx).
+        self._gen = 0
+        # Diagnostics / attribution.
+        self.flights_fused = 0
+        self.hops_replayed = 0
+        self.defusions = 0
+        self.terminal_fires = 0
+        self.fuse_rejects = 0
+        self.express_fallbacks = 0
+        sim._flight_drain = self.drain
+        sim._flight_planner = self
+
+    # ------------------------------------------------------------------
+    # Fusion entry point (called from RNic._launch)
+    # ------------------------------------------------------------------
+
+    def try_fuse(self, nic, qp, first_psn: int, packet) -> bool:
+        """Compute a one-packet write as a fused flight.  Returns False to
+        make the caller take the ordinary per-hop TX path."""
+        flags = fastlane.flags
+        if (not flags.flight_fusion or self._armed
+                or not flags.rewrite_templates or not flags.flow_cache):
+            # Lane 9 layers on the template/cache lanes: the express
+            # stages reproduce *their* counters and wire images, not the
+            # slow header-object path's allocation pattern.
+            return False
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            return False
+        marker = self._tainted.get(qp)
+        if marker is not None:
+            # Re-engage only from the first PSN issued after recovery:
+            # older PSNs may still race retransmitted duplicates.
+            if ((first_psn - marker) & 0xFFFFFF) >= _PSN_HALF:
+                self.fuse_rejects += 1
+                return False
+            del self._tainted[qp]
+        path = self._resolve_path(nic, qp)
+        if path is None:
+            self.fuse_rejects += 1
+            return False
+        sim = self._sim
+        now = sim._now
+        # Inline RNic._tx for the clean hop (powered is path-validated and
+        # fault-watched): claim the TX pipeline, then push the emit hop.
+        busy = nic._tx_busy_until
+        start = busy if busy > now else now
+        finish = start + _TX_GAP
+        nic._tx_busy_until = finish
+        t = finish + _TX_LAT
+        flight = FusedFlight(qp, first_psn)
+        flight.t0 = now
+        seq = sim._seq
+        sim._seq = seq + 1
+        heapq.heappush(self._fq, (t, seq, nic._emit, (packet,), flight,
+                                  self._x_leader_emit, path))
+        flight.pending = 1
+        flight.latest_vt = t
+        horizon = now + path.est_dur + _PHANTOM_SLACK
+        if horizon <= t:
+            horizon = t + _PHANTOM_SLACK
+        flight.phantom = sim.schedule_at(horizon, self._terminal, flight)
+        self._flights.add(flight)
+        self.flights_fused += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Hop-queue plumbing
+    # ------------------------------------------------------------------
+
+    def _push_hop(self, t: float, fn, args: tuple, flight: FusedFlight,
+                  xfn, ctx) -> None:
+        # Consume the kernel's sequence counter: the hop gets exactly the
+        # seq the slow lane's schedule_at_fire would have assigned, so
+        # timestamp ties -- hop vs real event, and real events scheduled
+        # later -- resolve in slow-lane order.
+        sim = self._sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        heapq.heappush(self._fq, (t, seq, fn, args, flight, xfn, ctx))
+        flight.pending += 1
+        if t > flight.latest_vt:
+            flight.latest_vt = t
+
+    def _fallback(self, entry: tuple) -> None:
+        """Run a hop's real handler (at the warped clock) instead of its
+        express stage.  Every express probe precedes its stage's first
+        mutation, so the real handler starts from pristine state; the
+        events it schedules are real kernel events with the exact seqs
+        the slow lane would have consumed next."""
+        self.express_fallbacks += 1
+        entry[2](*entry[3])
+
+    def _wire_out(self, link, d, src_port, packet, vt: float) -> float:
+        """Inline ``Link.transmit`` for a clean hop (link up, lossless --
+        path-validated and fault-watched, so the loss RNG is provably not
+        consumed, exactly as in the slow lane).  Returns delivery time."""
+        stats = d.stats
+        wire = packet.wire_size
+        busy = d.busy_until
+        start = busy if busy > vt else vt
+        on_wire = wire if wire > _MIN_FRAME else _MIN_FRAME
+        finish = start + (on_wire + _WIRE_OVERHEAD) * 8 * 1e9 / link.rate_bps
+        d.busy_until = finish
+        stats.frames += 1
+        stats.bytes += wire
+        tap = link.tap
+        if tap is not None:
+            tap(src_port, packet)
+        return finish + link.propagation_ns
+
+    # ------------------------------------------------------------------
+    # Drain: called by the kernel before any event at/after a due hop
+    # ------------------------------------------------------------------
+
+    def drain(self, limit: float) -> bool:
+        """Run express stages for pending hops due at or before ``limit``,
+        stopping early if a real kernel event becomes due first (a
+        completion cascade schedules real events at past-exact virtual
+        times).  Timestamp ties resolve by kernel seq -- slow-lane order.
+        Returns True if at least one hop ran (False tells the kernel the
+        front real event genuinely goes first)."""
+        sim = self._sim
+        fq = self._fq
+        if not fq:
+            return False
+        soon = sim._soon
+        heap = sim._heap
+        pop = heapq.heappop
+        credits = 0
+        while fq:
+            entry = fq[0]
+            vt = entry[0]
+            if vt > limit or soon:
+                break
+            if heap:
+                top = heap[0]
+                top_time = top[0]
+                if top_time < vt:
+                    break
+                if top_time == vt:
+                    front = top[2]
+                    if type(front) is list:  # delivery_batching bucket
+                        front = front[front[0]]
+                    if front.seq < entry[1]:
+                        break
+            pop(fq)
+            flight = entry[4]
+            flight.pending -= 1
+            # Warp the clock to the hop's exact virtual time: express
+            # stages and fallback handlers read sim._now for claims, taps
+            # and timestamps.
+            sim._now = vt
+            credits += 1
+            xfn = entry[5]
+            if xfn is None:
+                # Completion hop: the real leader-RX handler runs so the
+                # CQE -> commit -> next-proposal cascade schedules real
+                # events (at exact absolute times; the clock is warped).
+                flight.done = True
+                if flight.pending == 0:
+                    phantom = flight.phantom
+                    if phantom is not None:
+                        phantom.cancel()
+                        flight.phantom = None
+                    self._flights.discard(flight)
+                # else: straggler ACK hops beyond the quorum still pend;
+                # the phantom stays armed so the kernel keeps polling.
+                entry[2](*entry[3])
+            else:
+                xfn(vt, entry)
+        if credits:
+            # Each hop is an event the slow lane executed.
+            sim._event_count += credits
+            self.hops_replayed += credits
+            return True
+        return False
+
+    def _terminal(self, flight: FusedFlight) -> None:
+        """The flight's phantom kernel event.  In steady state it is
+        cancelled at completion; it fires only when the duration estimate
+        was short (foreign traffic stretched the chain) or stragglers
+        outlive the completion hop."""
+        sim = self._sim
+        # No slow-lane counterpart: keep events_executed bit-identical by
+        # debiting the credit the kernel just added.
+        sim._event_count -= 1
+        self.terminal_fires += 1
+        flight.phantom = None
+        if flight.pending > 0:
+            # Re-arm at the push horizon.  Nudge past "now" so the
+            # re-armed phantom is a heap event (never a same-tick FIFO
+            # entry, which would block the drain) and loses same-time
+            # seq ties to every pending hop.
+            t = flight.latest_vt
+            now = sim._now
+            if t <= now:
+                t = now + 0.001
+            flight.phantom = sim.schedule_at(t, self._terminal, flight)
+            return
+        self._flights.discard(flight)
+
+    # ------------------------------------------------------------------
+    # Invalidation: fault hooks, CP writes and NAK/retransmit taint
+    # ------------------------------------------------------------------
+
+    def on_fault(self, device: Any) -> None:
+        """A traversed device faulted: disengage fusion until it heals."""
+        self._armed.add(id(device))
+        self._defuse_all()
+
+    def on_heal(self, device: Any, still_faulty: bool = False) -> None:
+        if not still_faulty:
+            self._armed.discard(id(device))
+
+    def on_retransmit(self, qp) -> None:
+        """A NAK or timeout retransmission on ``qp``: materialize fused
+        work and re-engage only from the next fresh PSN."""
+        self._tainted[qp] = qp.next_psn
+        self._defuse_all()
+
+    def on_cp_write(self, source: Any = None) -> None:
+        """A control-plane write on a watched table/register/multicast
+        engine: every cached path is stale, and in-flight express hops
+        must not outrun the new configuration."""
+        self._epoch += 1
+        self._gen += 1
+        if self._fq or self._flights:
+            self._defuse_all()
+
+    def _defuse_all(self) -> None:
+        """Re-materialize every pending hop as an ordinary kernel event at
+        its exact virtual time *and original kernel seq* (pushes consumed
+        real seqs, so ordering against live events is preserved).  Exact
+        by construction: each hop tuple carries precisely the (fn, args)
+        event the slow lane would have scheduled, and all of that event's
+        scheduling-time effects were applied when the hop was pushed."""
+        self._gen += 1
+        sim = self._sim
+        fq = self._fq
+        if fq:
+            self.defusions += 1
+            # Materialized pushes carry historical (non-monotone) seqs;
+            # never let them join an open delivery-batching bucket.
+            sim._last_bucket = None
+            sim._last_time = -1.0
+            for entry in sorted(fq):
+                sim._pending += 1
+                sim._push(entry[0], entry[1],
+                          Event(entry[0], entry[1], entry[2], entry[3], sim))
+            fq.clear()
+            sim._last_bucket = None
+            sim._last_time = -1.0
+        for flight in self._flights:
+            phantom = flight.phantom
+            if phantom is not None:
+                phantom.cancel()
+                flight.phantom = None
+        self._flights.clear()
+
+    # ------------------------------------------------------------------
+    # Express stages.  Each mirrors one real handler's observable effects
+    # for the proven-clean shape and pushes the successor hop; anything
+    # else falls back to the real handler before the first mutation.
+    # Stage signature: (vt, entry) with entry =
+    # (vt, seq, real_fn, real_args, flight, stage, ctx).
+    # ------------------------------------------------------------------
+
+    def _x_leader_emit(self, vt: float, entry: tuple) -> None:
+        # Mirrors RNic._emit + Port.send + Link.transmit (leader -> switch).
+        path = entry[6]
+        packet = entry[3][0]
+        path.nic.packets_sent += 1
+        t = self._wire_out(path.leader_link, path.dir_up, path.nic_port,
+                           packet, vt)
+        self._push_hop(t, path.leader_link._deliver, (path.dir_up, packet),
+                       entry[4], self._x_scatter_arrive, path)
+
+    def _x_scatter_arrive(self, vt: float, entry: tuple) -> None:
+        # Mirrors Link._deliver + Switch.handle_packet (ingress parser claim).
+        path = entry[6]
+        packet = entry[3][1]
+        sw = path.switch
+        idx = path.leader_in_port
+        sw.counters[idx].rx_frames += 1
+        pbusy = sw._ingress_parser_busy
+        busy = pbusy[idx]
+        start = busy if busy > vt else vt
+        done = start + path.pgap
+        pbusy[idx] = done
+        packet.meta["ingress_port"] = idx
+        self._push_hop(done, sw._run_ingress, (idx, packet),
+                       entry[4], self._x_scatter_ingress, path)
+
+    def _x_scatter_ingress(self, vt: float, entry: tuple) -> None:
+        # Mirrors Switch._run_ingress + P4ceProgram scatter classification
+        # (flow-cache hit path) + multicast fan-out.  The register guard
+        # reset (_begin_packet) is skipped: guards are only read by
+        # RegisterAction.execute, which no express stage calls, and every
+        # real ingress resets them before use.
+        path = entry[6]
+        flight = entry[4]
+        packet = entry[3][1]
+        sw = path.switch
+        fc = path.fc
+        cached = fc._cache.get(path.scatter_key)
+        if cached is None or cached[0] != _K_SCATTER:
+            # Cold or foreign verdict: let the real walk classify (and
+            # warm the cache for the next flight).
+            self._fallback(entry)
+            return
+        packet.meta["packet_token"] = sw._next_packet_token
+        sw._next_packet_token += 1
+        fc.hits += 1
+        for table, h, m in cached[2]:  # counter parity with the real walk
+            table.hits += h
+            table.misses += m
+        pre = cached[1]  # (numrecv_base, group, shared multicast verdict)
+        path.numrecv_cells[pre[0] + flight.first_psn % _NUMRECV_SLOTS] = 0
+        path.program.scattered += 1
+        tm = vt + path.half_pipe
+        legs = path.legs
+        last = len(legs) - 1
+        ebusy = sw._egress_parser_busy
+        pgap = path.pgap
+        for i, leg in enumerate(legs):
+            replica = packet if i == last else packet.fanout_copy()
+            replica.meta["replication_id"] = leg.rid
+            out = leg.out_port
+            busy = ebusy[out]
+            start = busy if busy > tm else tm
+            done = start + pgap
+            ebusy[out] = done
+            self._push_hop(done, sw._run_egress, (out, leg.rid, replica),
+                           flight, self._x_scatter_egress, leg)
+
+    def _x_scatter_egress(self, vt: float, entry: tuple) -> None:
+        # Mirrors Switch._run_egress + P4ceProgram.on_egress for one
+        # multicast leg (egress-cache hit + wire-template rewrite).
+        leg = entry[6]
+        path = leg.path
+        args = entry[3]
+        out = args[0]
+        packet = args[2]
+        sw = path.switch
+        pre = path.ecache._cache.get(args[1])
+        if pre is None:
+            self._fallback(entry)  # cold cache: real egress fills it
+            return
+        sw.counters[out].egress_runs += 1
+        path.ecache.hits += 1
+        prog = path.program
+        prog.egress_conn_table.hits += 1  # counter parity with the walk
+        tcache = path.tcache
+        templates = tcache._cache.get(args[1])
+        if templates is None:
+            templates = {}
+            tcache.put(args[1], templates)
+        else:
+            tcache.hits += 1
+        if not scatter_rewrite(packet, templates, pre, sw.mac, sw.ip,
+                               path.stamp):
+            # Unsupported shape: the exact header-object remainder of
+            # on_egress (cannot full-fallback -- counters already moved).
+            dst_mac, dst_ip, udp_port, qpn, psn_offset, va_base, r_key = pre
+            eth = packet.eth
+            eth.src = sw.mac
+            eth.dst = dst_mac
+            ipv4 = packet.ipv4
+            ipv4.src = sw.ip
+            ipv4.dst = dst_ip
+            packet.udp.dst_port = udp_port
+            bth = None
+            reth = None
+            for header in packet.upper:
+                kind = type(header)
+                if kind is Bth:
+                    bth = header
+                elif kind is Reth:
+                    reth = header
+            if bth is None:
+                sw.drops += 1
+                if packet._pooled:
+                    packet.release()
+                return
+            bth.dest_qp = qpn
+            bth.psn = (bth.psn + psn_offset) & 0xFFFFFF
+            if reth is not None:
+                reth.virtual_address = reth.virtual_address + va_base
+                reth.r_key = r_key
+            packet.finalize()
+            if path.stamp:
+                stamp_icrc(packet)
+        packet.finalize()
+        self._push_hop(vt + path.half_pipe, sw._transmit, (out, packet),
+                       entry[4], self._x_scatter_transmit, leg)
+
+    def _x_scatter_transmit(self, vt: float, entry: tuple) -> None:
+        # Mirrors Switch._transmit + Link.transmit (switch -> replica).
+        leg = entry[6]
+        args = entry[3]
+        packet = args[1]
+        leg.path.switch.counters[args[0]].tx_frames += 1
+        t = self._wire_out(leg.link, leg.dir_down, leg.eg_port, packet, vt)
+        self._push_hop(t, leg.link._deliver, (leg.dir_down, packet),
+                       entry[4], self._x_replica_arrive, leg)
+
+    def _x_replica_arrive(self, vt: float, entry: tuple) -> None:
+        # Mirrors Link._deliver + RNic.handle_packet (RX pipeline claim).
+        leg = entry[6]
+        packet = entry[3][1]
+        rnic = leg.rnic
+        if rnic._rx_inflight >= rnic.rx_queue_limit:
+            rnic.rx_dropped += 1
+            if packet._pooled:
+                packet.release()
+            return  # the leg dies here, exactly as in the slow lane
+        busy = rnic._rx_busy_until
+        start = busy if busy > vt else vt
+        finish = start + rnic.rx_gap_ns
+        rnic._rx_busy_until = finish
+        rnic._rx_inflight += 1
+        self._push_hop(finish + _RX_LAT, rnic._rx_process, (packet,),
+                       entry[4], self._x_replica_rx, leg)
+
+    def _x_replica_rx(self, vt: float, entry: tuple) -> None:
+        # Mirrors RNic._rx_process + _roce_dispatch + the clean
+        # _responder_write path + the ACK build/TX.  All shape probes are
+        # pure and precede the first mutation, so the full fallback
+        # (real _rx_process) starts from pristine state.
+        leg = entry[6]
+        packet = entry[3][0]
+        rnic = leg.rnic
+        up = packet._upper
+        if (not rnic.powered or len(up) != 2 or type(up[0]) is not Bth
+                or type(up[1]) is not Reth):
+            self._fallback(entry)
+            return
+        bth = up[0]
+        if bth.dest_qp != leg.rqpn or bth.opcode is not _OP_WRITE_ONLY:
+            self._fallback(entry)
+            return
+        rnic._rx_inflight -= 1
+        rnic.packets_received += 1
+        if not check_icrc(packet):
+            rnic.icrc_drops += 1
+            if packet._pooled:
+                packet.release()
+            return
+        qp = rnic.qps.get(bth.dest_qp)
+        if qp is None or qp.state is QpState.ERROR:
+            # _roce_dispatch's silent drop (destroyed/errored QP).
+            if packet._pooled:
+                packet.release()
+            return
+        reth = up[1]
+        payload = packet.payload
+        if bth.psn == qp.expected_psn:
+            region = rnic._check_remote_access(qp, reth.virtual_address,
+                                               reth.dma_length, reth.r_key,
+                                               Access.REMOTE_WRITE)
+        else:
+            region = None
+        if region is None:
+            # Duplicate PSN (re-ACK), sequence gap (NAK) or access error
+            # (NAK): the real responder tail handles every branch; its
+            # NAK travels as real events and taints the QP on arrival.
+            self.express_fallbacks += 1
+            rnic._responder_write(qp, bth, reth, payload)
+            if packet._pooled:
+                packet.release()
+            return
+        # Clean WRITE_ONLY: cursor setup, DMA, PSN/MSN advance -- field
+        # for field the _responder_write body.
+        qp.write_cursor_va = reth.virtual_address
+        qp.write_cursor_rkey = reth.r_key
+        qp.write_cursor_remaining = reth.dma_length
+        if payload:
+            region.write(qp.write_cursor_va, payload)
+            qp.write_cursor_va += len(payload)
+            qp.write_cursor_remaining -= len(payload)
+        qp.expected_psn = psn_add(bth.psn, 1)
+        qp.msn = psn_add(qp.msn, 1)
+        gen0 = self._gen
+        rnic.host.notify_remote_write(qp, bth, payload)
+        # _send_ack + the ack_frame fast path of _respond.
+        rnic.acks_sent += 1
+        syndrome = make_syndrome(
+            AethCode.ACK, saturate_credits(_INITIAL_CREDITS - rnic._rx_inflight))
+        ack = ack_frame(qp.tx_templates, rnic.gateway_mac, rnic.mac, rnic.ip,
+                        qp.remote_ip, leg.ack_sport, _ROCE_PORT,
+                        qp.remote_qpn, bth.psn, syndrome, qp.msn)
+        if rnic.powered:  # a notify watcher may have crashed the host
+            busy = rnic._tx_busy_until
+            start = busy if busy > vt else vt
+            finish = start + _TX_GAP
+            rnic._tx_busy_until = finish
+            t = finish + _TX_LAT
+            if self._gen != gen0:
+                # A watcher defused mid-notify (CP write, fault, taint):
+                # hand the ACK to the kernel as a real event -- it gets
+                # the same next seq either way.
+                self._sim.schedule_at(t, rnic._emit, ack)
+            else:
+                self._push_hop(t, rnic._emit, (ack,), entry[4],
+                               self._x_ack_emit, leg)
+        if packet._pooled:
+            packet.release()
+
+    def _x_ack_emit(self, vt: float, entry: tuple) -> None:
+        # Mirrors RNic._emit + Link.transmit (replica -> switch).
+        leg = entry[6]
+        ack = entry[3][0]
+        leg.rnic.packets_sent += 1
+        t = self._wire_out(leg.link, leg.dir_back, leg.rport, ack, vt)
+        self._push_hop(t, leg.link._deliver, (leg.dir_back, ack),
+                       entry[4], self._x_ack_arrive, leg)
+
+    def _x_ack_arrive(self, vt: float, entry: tuple) -> None:
+        # Mirrors Link._deliver + Switch.handle_packet for the ACK.
+        leg = entry[6]
+        ack = entry[3][1]
+        path = leg.path
+        sw = path.switch
+        idx = leg.out_port
+        sw.counters[idx].rx_frames += 1
+        pbusy = sw._ingress_parser_busy
+        busy = pbusy[idx]
+        start = busy if busy > vt else vt
+        done = start + path.pgap
+        pbusy[idx] = done
+        ack.meta["ingress_port"] = idx
+        self._push_hop(done, sw._run_ingress, (idx, ack),
+                       entry[4], self._x_gather_ingress, leg)
+
+    def _x_gather_ingress(self, vt: float, entry: tuple) -> None:
+        # Mirrors Switch._run_ingress + P4ceProgram._gather: credit fold,
+        # NumRecv count, forward-or-drop.  Register cells are read/written
+        # with the same masked arithmetic as the RegisterActions (the
+        # count is compared unmasked, as _numrecv_count returns it), so
+        # 256-slot PSN wrap behaves identically.
+        leg = entry[6]
+        path = leg.path
+        ack = entry[3][1]
+        sw = path.switch
+        up = ack._upper
+        if len(up) != 2 or type(up[0]) is not Bth or type(up[1]) is not Aeth:
+            self._fallback(entry)
+            return
+        bth = up[0]
+        if bth.dest_qp != leg.aggr_qpn or bth.opcode is not _OP_ACK:
+            self._fallback(entry)
+            return
+        fc = path.fc
+        cached = fc._cache.get(leg.gather_key)
+        if cached is None or cached[0] != _K_GATHER:
+            self._fallback(entry)
+            return
+        ack.meta["packet_token"] = sw._next_packet_token
+        sw._next_packet_token += 1
+        fc.hits += 1
+        for table, h, m in cached[2]:
+            table.hits += h
+            table.misses += m
+        pre = cached[1]  # _GatherPre
+        aeth = up[1]
+        syndrome = aeth.syndrome
+        leader_psn = (bth.psn - pre.psn_offset) & 0xFFFFFF
+        prog = path.program
+        if syndrome >> 6:
+            # NAK/RNR: forwarded to the leader immediately.
+            prog.forwarded_naks += 1
+            prog._rewrite_to_leader(ack, bth, aeth, leader_psn, pre, syndrome)
+        else:
+            prog.gathered_acks += 1
+            own = syndrome & 0x1F
+            if path.credit_agg:
+                # _aggregate_credits without the guard-flag writes (the
+                # guards are unobservable outside RegisterAction.execute).
+                gi = pre.group_index
+                own_slot = pre.credit_slot
+                minimum = EMPTY_CREDIT
+                slot = 0
+                for reg in path.credit_regs:
+                    cells = reg._cells
+                    if slot == own_slot:
+                        cells[gi] = value = own & reg.mask
+                    else:
+                        value = cells[gi]
+                    if value < minimum:
+                        minimum = value
+                    slot += 1
+            else:
+                minimum = own
+            cells = path.numrecv_cells
+            slot = pre.numrecv_base + leader_psn % _NUMRECV_SLOTS
+            count = cells[slot] + 1
+            cells[slot] = count & path.numrecv_mask
+            if count != pre.ack_threshold:
+                # Surplus (or early) ACK: counted and dropped in ingress.
+                prog.dropped_acks += 1
+                sw.drops += 1
+                sw.counters[entry[3][0]].rx_drops += 1
+                return
+            prog.forwarded_acks += 1
+            prog._rewrite_to_leader(ack, bth, aeth, leader_psn, pre, minimum)
+        out = path.leader_in_port
+        tm = vt + path.half_pipe
+        ebusy = sw._egress_parser_busy
+        busy = ebusy[out]
+        start = busy if busy > tm else tm
+        done = start + path.pgap
+        ebusy[out] = done
+        self._push_hop(done, sw._run_egress, (out, 0, ack),
+                       entry[4], self._x_gather_egress, path)
+
+    def _x_gather_egress(self, vt: float, entry: tuple) -> None:
+        # Mirrors Switch._run_egress for the forwarded ACK (rid 0 passes
+        # through on_egress untouched).
+        path = entry[6]
+        args = entry[3]
+        ack = args[2]
+        path.switch.counters[args[0]].egress_runs += 1
+        ack.finalize()
+        self._push_hop(vt + path.half_pipe, path.switch._transmit,
+                       (args[0], ack), entry[4], self._x_gather_transmit,
+                       path)
+
+    def _x_gather_transmit(self, vt: float, entry: tuple) -> None:
+        # Mirrors Switch._transmit + Link.transmit (switch -> leader).
+        path = entry[6]
+        args = entry[3]
+        ack = args[1]
+        path.switch.counters[args[0]].tx_frames += 1
+        t = self._wire_out(path.leader_link, path.dir_down, path.switch_port,
+                           ack, vt)
+        self._push_hop(t, path.leader_link._deliver, (path.dir_down, ack),
+                       entry[4], self._x_leader_arrive, path)
+
+    def _x_leader_arrive(self, vt: float, entry: tuple) -> None:
+        # Mirrors Link._deliver + RNic.handle_packet at the leader; the
+        # pushed successor is the *final* hop (xfn None): the real
+        # _rx_process runs the completion cascade with real events.
+        path = entry[6]
+        flight = entry[4]
+        ack = entry[3][1]
+        lnic = path.nic
+        if lnic._rx_inflight >= lnic.rx_queue_limit:
+            lnic.rx_dropped += 1
+            if ack._pooled:
+                ack.release()
+            return
+        busy = lnic._rx_busy_until
+        start = busy if busy > vt else vt
+        finish = start + lnic.rx_gap_ns
+        lnic._rx_busy_until = finish
+        lnic._rx_inflight += 1
+        t = finish + _RX_LAT
+        dur = t - flight.t0
+        if dur > path.est_dur:
+            path.est_dur = dur
+        self._push_hop(t, lnic._rx_process, (ack,), flight, None, None)
+
+    # ------------------------------------------------------------------
+    # Path resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_path(self, nic, qp) -> Optional[_FusedPath]:
+        key = (id(nic), qp.qpn)
+        path = self._paths.get(key)
+        if path is not None and path.epoch == self._epoch:
+            return path
+        stale = path
+        path = self._rebuild_path(nic, qp)
+        if path is None:
+            self._paths.pop(key, None)
+        else:
+            if stale is not None and stale.est_dur > path.est_dur:
+                path.est_dur = stale.est_dur
+            self._paths[key] = path
+        return path
+
+    def _rebuild_path(self, nic, qp) -> Optional[_FusedPath]:
+        """Validate the full scatter/gather topology for one broadcast QP
+        and pin every object the express stages touch.  Probes use raw
+        reads (``_entries`` / ``_cache``) so validation never perturbs the
+        hit/miss counters the slow lane produces."""
+        if not nic.powered:
+            return None
+        port = nic.port
+        link = port.link
+        if link is None or not link.up or link._drop_probability > 0.0:
+            return None
+        switch_port = port.peer
+        switch = switch_port.device
+        program = getattr(switch, "program", None)
+        bcast = getattr(program, "bcast_table", None)
+        if bcast is None or not switch.powered:
+            return None
+        if program.ack_drop_in_egress:
+            # Ablation config: surplus ACKs traverse the leader's egress
+            # parser; the express gather drops them in ingress only.
+            return None
+        if qp.remote_ip != switch.ip:
+            return None
+        entry = bcast._entries.get((qp.remote_qpn,))
+        if entry is None or entry.action != "broadcast":
+            return None
+        copies = switch.multicast.lookup(int(entry.params["multicast_group"]))
+        if copies is None:
+            return None
+        fc = program._flow_cache
+        ecache = program._egress_cache
+        tcache = program._egress_templates
+        if fc is None or ecache is None:
+            return None
+        l3 = switch.l3_table
+        aggr = program.aggr_table
+        econn = program.egress_conn_table
+        # Reject stale caches instead of reconciling them here: a
+        # reconcile would bump invalidation counters at a different
+        # instant than the slow lane.  A couple of slow flights after any
+        # control-plane write warm everything back up.
+        if fc._gen != l3.version + bcast.version + aggr.version:
+            return None
+        if ecache._gen != econn.version or tcache._gen != econn.version:
+            return None
+        dir_down = link.direction_from(switch_port)
+        if dir_down.dst.device is not nic:
+            return None
+        path = _FusedPath()
+        path.nic = nic
+        path.nic_port = port
+        path.switch = switch
+        path.program = program
+        path.leader_link = link
+        path.leader_in_port = switch_port.index
+        path.switch_port = switch_port
+        path.dir_up = link.direction_from(port)
+        path.dir_down = dir_down
+        path.scatter_key = (qp.remote_qpn, _OP_WRITE_ONLY)
+        path.fc = fc
+        path.ecache = ecache
+        path.tcache = tcache
+        path.numrecv_cells = program.numrecv._cells
+        path.numrecv_mask = program.numrecv.mask
+        path.credit_regs = program.credits
+        path.credit_agg = program.credit_aggregation
+        path.stamp = program.recompute_icrc
+        path.half_pipe = switch.pipeline_latency_ns * 0.5
+        path.pgap = switch.parser_gap_ns
+        path.est_dur = 20000.0
+        path.legs = legs = []
+        ports = switch.ports
+        nports = len(ports)
+        watched = [nic, link, switch]
+        for copy in copies:
+            out = copy.egress_port
+            rid = copy.replication_id
+            if rid == 0 or not 0 <= out < nports:
+                return None  # rid 0 would skip the egress rewrite
+            eg_port = ports[out]
+            rlink = eg_port.link
+            if rlink is None or not rlink.up \
+                    or rlink._drop_probability > 0.0:
+                return None
+            rport = rlink.other_end(eg_port)
+            rnic = rport.device
+            if rnic is None or not getattr(rnic, "powered", False):
+                return None
+            centry = econn._entries.get((rid,))
+            if centry is None or centry.action != "rewrite":
+                return None
+            cp = centry.params
+            if int(cp["udp_port"]) != _ROCE_PORT or cp["ip"] != rnic.ip:
+                return None
+            rqp = rnic.qps.get(int(cp["qpn"]))
+            if rqp is None or rqp.remote_ip != switch.ip:
+                return None
+            aentry = aggr._entries.get((rqp.remote_qpn,))
+            if aentry is None or aentry.action != "gather":
+                return None
+            ap = aentry.params
+            if int(ap["leader_port"]) != switch_port.index \
+                    or ap["leader_ip"] != nic.ip:
+                return None
+            leg = _FusedLeg()
+            leg.path = path
+            leg.rid = rid
+            leg.out_port = out
+            leg.eg_port = eg_port
+            leg.link = rlink
+            leg.dir_down = rlink.direction_from(eg_port)
+            leg.dir_back = rlink.direction_from(rport)
+            leg.rport = rport
+            leg.rnic = rnic
+            leg.rqp = rqp
+            leg.rqpn = rqp.qpn
+            leg.aggr_qpn = rqp.remote_qpn
+            leg.ack_sport = 49152 + (rqp.qpn & 0x3FF)
+            leg.gather_key = (rqp.remote_qpn, _OP_ACK)
+            legs.append(leg)
+            watched.append(rlink)
+            watched.append(rnic)
+        # Fault watches: any impairment on a traversed device disengages
+        # fusion immediately; CP-write watches: any table/register/
+        # multicast write invalidates every resolved path.
+        for device in watched:
+            device._flight_watch = self
+        for table in (bcast, aggr, econn, l3):
+            table._flight_watch = self
+        program.numrecv._flight_watch = self
+        for reg in program.credits:
+            reg._flight_watch = self
+        switch.multicast._flight_watch = self
+        path.epoch = self._epoch
+        return path

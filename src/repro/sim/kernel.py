@@ -151,6 +151,15 @@ class Simulator:
         self._tombstones: int = 0
         #: Recycled Event shells for schedule_at_fire (object_pools lane).
         self._free: List[Event] = []
+        #: Flight-fusion hop queue (lane 9): captured-but-unscheduled hops
+        #: as (time, seq, fn, args, flight) tuples, owned by the
+        #: FlightPlanner but polled here so due hops replay *before* any
+        #: later event executes.  Always mutated in place, never rebound.
+        self._flight_queue: List[tuple] = []
+        #: The planner's drain(limit) bound method (None until a
+        #: FlightPlanner attaches; _flight_queue stays empty until then).
+        self._flight_drain: Optional[Callable[[float], None]] = None
+        self._flight_planner = None
         # Kernel lanes are per-simulator, sampled at construction: a flag
         # flip mid-run must not mix heap representations.
         self._bucketed: bool = fastlane.flags.delivery_batching
@@ -353,7 +362,21 @@ class Simulator:
         soon = self._soon
         heap = self._heap
         bucketed = self._bucketed
+        fq = self._flight_queue
         while True:
+            if fq and not soon:
+                # Replay fused-flight hops due before the next event (or
+                # before ``limit`` when that comes first): later events
+                # must observe logs/registers/links exactly as the slow
+                # lane would have left them.  A False return means the
+                # front heap event wins the timestamp tie on seq: fall
+                # through and pop it normally.
+                nxt = heap[0][0] if heap else None
+                if limit is not None and (nxt is None or limit < nxt):
+                    nxt = limit
+                if nxt is not None and fq[0][0] <= nxt \
+                        and self._flight_drain(nxt):
+                    continue
             if soon and (not heap or heap[0][0] > self._now):
                 event = soon.popleft()
                 if event.cancelled:
@@ -422,6 +445,8 @@ class Simulator:
         # measure the inlining honestly.
         inline = fastlane.flags.kernel_hotloop and not profiled
         bucketed = self._bucketed
+        fq = self._flight_queue
+        fdrain = self._flight_drain
         try:
             # The hot loop is written long-hand (no shared pop function)
             # on purpose: at benchmark event rates every per-event frame
@@ -429,6 +454,20 @@ class Simulator:
             while soon or heap:
                 if bounded and executed >= max_events:
                     return
+                if fq and not soon and heap:
+                    # Fused-flight hops (lane 9) due before the next heap
+                    # event (bounded by ``until``) replay first so every
+                    # later event observes slow-lane-identical state.  The
+                    # same-tick FIFO never blocks a due hop: queued soon
+                    # events sit at the current clock, pending hops
+                    # strictly after it.  A False return means the front
+                    # heap event wins the timestamp tie on seq: fall
+                    # through and pop it normally.
+                    limit = heap[0][0]
+                    if until is not None and until < limit:
+                        limit = until
+                    if fq[0][0] <= limit and fdrain(limit):
+                        continue
                 if soon and (not heap or heap[0][0] > self._now):
                     event = soon.popleft()
                     if event.cancelled:

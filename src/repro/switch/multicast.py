@@ -42,6 +42,10 @@ class MulticastEngine:
     (and that the egress rewrite templates key their invalidation on).
     """
 
+    #: Flight-fusion planner watching this engine for control-plane
+    #: writes (set lazily by path resolution).
+    _flight_watch = None
+
     def __init__(self, capacity: int = 1024):
         self.capacity = capacity
         self._groups: Dict[int, Tuple[MulticastCopy, ...]] = {}
@@ -55,6 +59,9 @@ class MulticastEngine:
             raise ValueError("a multicast group needs at least one copy")
         self._groups[group_id] = tuple(copies)
         self.version += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
 
     def update_group(self, group_id: int, copies: Sequence[MulticastCopy]) -> None:
         if group_id not in self._groups:
@@ -63,13 +70,28 @@ class MulticastEngine:
             raise ValueError("a multicast group needs at least one copy")
         self._groups[group_id] = tuple(copies)
         self.version += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
 
     def delete_group(self, group_id: int) -> None:
         self._groups.pop(group_id, None)
         self.version += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
 
     def lookup(self, group_id: int) -> Optional[Tuple[MulticastCopy, ...]]:
         return self._groups.get(group_id)
+
+    def snapshot(self, group_id: int) -> Optional[Tuple[int, Tuple[MulticastCopy, ...]]]:
+        """(version, copies) for a group -- None when absent.  Cached path
+        resolutions (flight fusion) pin the version they were built
+        against and rebuild when it moves."""
+        copies = self._groups.get(group_id)
+        if copies is None:
+            return None
+        return self.version, copies
 
     def __contains__(self, group_id: int) -> bool:
         return group_id in self._groups

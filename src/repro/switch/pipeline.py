@@ -102,6 +102,11 @@ class PortCounters:
 class Switch:
     """A Tofino-class programmable switch."""
 
+    #: Flight-fusion planner watching this switch (set lazily when a
+    #: fused path first traverses it); power transitions must disengage
+    #: fusion before taking effect.
+    _flight_watch = None
+
     def __init__(self, sim: Simulator, name: str,
                  mac: MacAddress, ip: Ipv4Address,
                  num_ports: int = 32,
@@ -154,6 +159,14 @@ class Switch:
             if not port.connected:
                 return port
         raise RuntimeError(f"{self.name}: no free ports")
+
+    def parser_availability(self, kind: str, index: int) -> float:
+        """Current busy-until horizon of one per-port parser ("ingress"
+        or "egress") -- the analytic occupancy query flight fusion plans
+        against."""
+        busy = (self._ingress_parser_busy if kind == "ingress"
+                else self._egress_parser_busy)
+        return busy[index]
 
     # ------------------------------------------------------------------
     # Data path
@@ -275,9 +288,15 @@ class Switch:
     def power_off(self) -> None:
         """Crash the switch: every packet in or out is lost."""
         self.powered = False
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_fault(self)
 
     def power_on(self) -> None:
         self.powered = True
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_heal(self)
 
     def __repr__(self) -> str:
         prog = self.program.name if self.program else "none"

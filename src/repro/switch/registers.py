@@ -27,6 +27,10 @@ class RegisterAccessError(RuntimeError):
 class Register:
     """One register array in a pipeline stage."""
 
+    #: Flight-fusion planner watching this register for control-plane
+    #: writes (set lazily by path resolution).
+    _flight_watch = None
+
     def __init__(self, name: str, size: int, width: int = 32, initial: int = 0):
         if size <= 0:
             raise ValueError("register size must be positive")
@@ -39,6 +43,11 @@ class Register:
         self._cells: List[int] = [initial & self.mask] * size
         self._current_packet: Optional[int] = None
         self._accessed_this_packet = False
+        #: Control-plane write epoch: bumped by cp_write/cp_fill.  Cached
+        #: derivations of register contents (flight-fusion path plans) key
+        #: their invalidation on it; data-plane RegisterActions do not
+        #: bump it -- those run identically during fused replay.
+        self.cp_epoch = 0
 
     # -- data-plane access (guarded) -------------------------------------------
 
@@ -61,11 +70,19 @@ class Register:
 
     def cp_write(self, index: int, value: int) -> None:
         self._cells[index] = value & self.mask
+        self.cp_epoch += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
 
     def cp_fill(self, value: int) -> None:
         fill = value & self.mask
         for i in range(self.size):
             self._cells[i] = fill
+        self.cp_epoch += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
 
     def __len__(self) -> int:
         return self.size

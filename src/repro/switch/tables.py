@@ -44,6 +44,11 @@ class ExactMatchTable:
     ``key_fields`` for documentation and error messages.
     """
 
+    #: Flight-fusion planner watching this table for control-plane
+    #: writes (set lazily by path resolution; class attr keeps unwatched
+    #: tables at zero per-instance cost).
+    _flight_watch = None
+
     def __init__(self, name: str, key_fields: Tuple[str, ...], capacity: int = 4096):
         self.name = name
         self.key_fields = key_fields
@@ -78,18 +83,30 @@ class ExactMatchTable:
             raise TableFullError(f"table {self.name!r} is full ({self.capacity})")
         self._entries[key] = ActionEntry(action, **params)
         self.version += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
 
     def del_entry(self, key: Tuple[int, ...]) -> bool:
         self.version += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
         return self._entries.pop(key, None) is not None
 
     def set_default(self, action: str, **params: Any) -> None:
         self.default = ActionEntry(action, **params)
         self.version += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
 
     def clear(self) -> None:
         self._entries.clear()
         self.version += 1
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_cp_write(self)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
 """Calibrated simulator-throughput harness (and fast-lane proof).
 
-Runs the consensus-rate and goodput workloads twice each -- fast lanes on
-(:mod:`repro.fastlane` defaults) and off (the seed-equivalent reference
-path) -- and measures **simulator events per second** and wall clock.
+Runs each workload three times -- fast lanes on (:mod:`repro.fastlane`
+defaults), fast lanes on with flight fusion off (lanes 1-8, for lane-9
+attribution), and all lanes off (the seed-equivalent reference path) --
+and measures **simulator events per second** and wall clock.
 
 The interesting output is not only the speedup: the harness *proves* the
-fast lanes are behaviour-preserving by asserting, between the two lanes:
+fast lanes are behaviour-preserving by asserting, between the lanes:
 
 * identical ``Simulator.events_executed`` over the measured window,
 * identical benchmark metrics (consensus/s, goodput, commit count),
 * an identical packet-trace digest: every frame accepted by every link is
   hashed (wire bytes + attached ICRC + timestamp), so a single byte or
   timestamp diverging anywhere in the run changes the digest.
+
+The ``fault_recovery`` workload additionally cuts the leader's primary
+cable mid-window and heals it: flight fusion must disengage at the fault,
+take the RDMA-timeout/go-back-N recovery on the slow path, re-engage once
+the retransmitted PSNs catch up -- and still produce the slow lane's
+exact digest.
 
 Results are written to ``BENCH_<n>.json`` so future PRs have a perf
 trajectory; see ``docs/PERF.md`` for how to read it.
@@ -42,20 +49,37 @@ _REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO / "src"))
 
 from repro import fastlane  # noqa: E402
+from repro.faults.injector import FaultSchedule  # noqa: E402
 from repro.workloads.experiments import (  # noqa: E402
     ClosedLoopDriver, build_cluster)
 
 MS = 1_000_000
 
-#: The two workloads the fidelity gate hammers (benchmarks/
-#: test_consensus_rate.py and test_fig5_goodput.py): small-value maximum
-#: consensus rate, and large-value goodput.
+#: The workloads the fidelity gate hammers: small-value maximum consensus
+#: rate and large-value goodput (benchmarks/test_consensus_rate.py and
+#: test_fig5_goodput.py), plus a fault-recovery point that partitions a
+#: replica mid-window so flight fusion provably disengages and re-engages
+#: without perturbing a single byte of the trace.
 WORKLOADS = {
     "consensus_rate": dict(protocol="p4ce", replicas=2, value_size=64,
                            window=16),
     "goodput": dict(protocol="p4ce", replicas=3, value_size=4096,
                     window=16),
+    # The leader's scatter writes are lost pre-quorum during the outage,
+    # so go-back-N on the unchanged broadcast QP heals the gap at the
+    # RDMA-timeout timescale (~131 us) -- unlike a replica-side cut,
+    # whose post-heal straggler NAK degrades the leader to direct mode
+    # and needs a full 40 ms switch-group rebuild to regain
+    # acceleration, far outside any benchmark window.
+    "fault_recovery": dict(protocol="p4ce", replicas=2, value_size=64,
+                           window=16, fault=dict(down_ns=0.2 * MS,
+                                                 outage_ns=0.15 * MS)),
 }
+
+#: The three lane settings compared per workload.  ``fast_no_fusion``
+#: isolates lane 9's contribution: lanes 1-8 on, flight fusion off.
+_LANES = (("fast", True, True), ("fast_no_fusion", True, False),
+          ("slow", False, False))
 
 
 def _install_trace_digest(cluster) -> "hashlib._Hash":
@@ -85,19 +109,45 @@ def _install_trace_digest(cluster) -> "hashlib._Hash":
     return digest
 
 
-def run_lane(spec: dict, lane_on: bool, warmup_ns: float, window_ns: float,
+def run_lane(spec: dict, lane_name: str, lane_on: bool, fusion_on: bool,
+             warmup_ns: float, window_ns: float,
              profile: bool = False) -> dict:
     """One workload, one lane setting, one fresh cluster."""
     fastlane.flags.set_all(lane_on)
+    fastlane.flags.flight_fusion = lane_on and fusion_on
     try:
         cluster = build_cluster(spec["protocol"], spec["replicas"],
-                                value_size=spec["value_size"])
+                                value_size=spec["value_size"],
+                                **spec.get("config", {}))
         digest = _install_trace_digest(cluster)
-        cluster.await_ready()
+        leader = cluster.await_ready()
         driver = ClosedLoopDriver(cluster, spec["value_size"],
                                   window=spec["window"])
         driver.start()
         cluster.run_for(warmup_ns)
+        planner = cluster.flight_planner
+        fault = spec.get("fault")
+        probe = {}
+        if fault is not None:
+            # Deterministic mid-window fault: cut the leader's primary
+            # cable (no RNG -- frames on a down link are dropped
+            # unconditionally), heal it after the outage.  Heartbeats
+            # survive on the backup network, so no election fires; the
+            # in-flight scatter writes are lost before any replica could
+            # ACK, so the leader's RDMA timeout fires go-back-N on the
+            # same broadcast QP and the switch path never degrades.
+            victim = leader.node_id
+            schedule = FaultSchedule(cluster)
+            schedule.at_ns(fault["down_ns"]).partition_host(victim, False)
+            schedule.at_ns(fault["down_ns"] + fault["outage_ns"]).heal_host(
+                victim)
+            schedule.arm()
+            # Sample fusion progress just after the heal: any flights
+            # fused beyond this count prove lane 9 re-engaged.
+            cluster.sim.schedule(
+                fault["down_ns"] + fault["outage_ns"],
+                lambda: probe.__setitem__("fused_at_heal",
+                                          planner.flights_fused))
         driver.measuring = True
         driver.throughput.open(cluster.sim.now)
         events_before = cluster.sim.events_executed
@@ -114,7 +164,6 @@ def run_lane(spec: dict, lane_on: bool, warmup_ns: float, window_ns: float,
         wall = time.perf_counter() - t0
         if profiler is not None:
             profiler.disable()
-            lane_name = "fast" if lane_on else "slow"
             print(f"\n-- cProfile, {lane_name} lane, measured window "
                   f"(top 20 by cumulative time) --")
             stats = pstats.Stats(profiler, stream=sys.stdout)
@@ -125,8 +174,8 @@ def run_lane(spec: dict, lane_on: bool, warmup_ns: float, window_ns: float,
         driver.measuring = False
         driver.stop()
         events = cluster.sim.events_executed - events_before
-        return {
-            "lane": "fast" if lane_on else "slow",
+        result = {
+            "lane": lane_name,
             "wall_clock_s": wall,
             "events_executed": events,
             "events_per_sec": events / wall,
@@ -135,7 +184,22 @@ def run_lane(spec: dict, lane_on: bool, warmup_ns: float, window_ns: float,
             "commits": driver.commits,
             "trace_digest": digest.hexdigest(),
             "fastlane": fastlane.flags.as_dict(),
+            # Lane-9 attribution: how much of the run the planner fused.
+            "flight": {
+                "flights_fused": planner.flights_fused,
+                "hops_replayed": planner.hops_replayed,
+                "defusions": planner.defusions,
+                "fuse_rejects": planner.fuse_rejects,
+                "express_fallbacks": planner.express_fallbacks,
+                "terminal_fires": planner.terminal_fires,
+            },
         }
+        if fault is not None:
+            fused_at_heal = probe.get("fused_at_heal", 0)
+            result["flight"]["fused_at_heal"] = fused_at_heal
+            result["flight"]["fused_after_heal"] = (
+                planner.flights_fused - fused_at_heal)
+        return result
     finally:
         fastlane.enable()
 
@@ -147,20 +211,21 @@ _DETERMINISM_KEYS = ("events_executed", "trace_digest", "ops_per_sec",
 
 def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
                  repeats: int, profile: bool = False) -> dict:
-    """Run both lanes ``repeats`` times; keep best wall clock per lane.
+    """Run all lanes ``repeats`` times; keep best wall clock per lane.
 
-    The lanes are interleaved (fast, slow, fast, slow, ...) so slow
-    drifts in machine load hit both lanes alike instead of biasing
+    The lanes are interleaved (fast, no-fusion, slow, fast, ...) so slow
+    drifts in machine load hit every lane alike instead of biasing
     whichever lane happened to run last.
     """
-    lanes = {"fast": None, "slow": None}
+    lanes = {lane_name: None for lane_name, _, _ in _LANES}
     failures = []
     for repeat in range(repeats):
-        for lane_on, lane_name in ((True, "fast"), (False, "slow")):
+        for lane_name, lane_on, fusion_on in _LANES:
             # Profile only the first repeat of each lane: the hot spots do
             # not change between repeats, and the profiler's overhead would
             # poison every repeat's wall clock otherwise.
-            result = run_lane(spec, lane_on, warmup_ns, window_ns,
+            result = run_lane(spec, lane_name, lane_on, fusion_on,
+                              warmup_ns, window_ns,
                               profile=profile and repeat == 0)
             best = lanes[lane_name]
             if best is None:
@@ -175,12 +240,25 @@ def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
                             f"({best[key]!r} vs {result[key]!r})")
                 if result["wall_clock_s"] < best["wall_clock_s"]:
                     lanes[lane_name] = result
-    for key in _DETERMINISM_KEYS:
-        if lanes["fast"][key] != lanes["slow"][key]:
-            failures.append(
-                f"{name}: {key} differs between lanes "
-                f"(fast={lanes['fast'][key]!r} slow={lanes['slow'][key]!r})")
+    for lane_name in ("fast_no_fusion", "slow"):
+        for key in _DETERMINISM_KEYS:
+            if lanes["fast"][key] != lanes[lane_name][key]:
+                failures.append(
+                    f"{name}: {key} differs between lanes "
+                    f"(fast={lanes['fast'][key]!r} "
+                    f"{lane_name}={lanes[lane_name][key]!r})")
     fast, slow = lanes["fast"], lanes["slow"]
+    no_fusion = lanes["fast_no_fusion"]
+    if spec.get("fault") is not None:
+        # The fault point must actually exercise the engage/disengage
+        # machinery, not just survive it.
+        flight = fast["flight"]
+        if not flight["flights_fused"]:
+            failures.append(f"{name}: fusion never engaged")
+        if not flight["defusions"]:
+            failures.append(f"{name}: the fault never defused a flight")
+        if not flight["fused_after_heal"]:
+            failures.append(f"{name}: fusion did not re-engage after heal")
     return {
         # Headline numbers (fast lane) at the top level, per the perf
         # trajectory schema: {events_per_sec, wall_clock_s, events_executed}.
@@ -190,9 +268,13 @@ def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
         "ops_per_sec": fast["ops_per_sec"],
         "goodput_gbps": fast["goodput_gbps"],
         "speedup_vs_slow_lane": fast["events_per_sec"] / slow["events_per_sec"],
+        # Lane 9's own contribution: full fast stack vs lanes 1-8 only.
+        "speedup_vs_no_fusion": (fast["events_per_sec"]
+                                 / no_fusion["events_per_sec"]),
         "deterministic": not failures,
         "determinism_failures": failures,
         "fast": fast,
+        "fast_no_fusion": no_fusion,
         "slow": slow,
     }
 
@@ -203,7 +285,7 @@ def main(argv=None) -> int:
                         help="short windows and one repeat (CI smoke)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per lane (default: 3, quick: 1)")
-    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_1.json",
+    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_3.json",
                         help="where to write the JSON report")
     parser.add_argument("--workload", choices=sorted(WORKLOADS), default=None,
                         help="run a single workload instead of all")
@@ -229,19 +311,28 @@ def main(argv=None) -> int:
     }
     ok = True
     for name in names:
-        print(f"[{name}] running fast + slow lanes "
+        print(f"[{name}] running fast + no-fusion + slow lanes "
               f"({repeats} repeat(s), {window_ns / MS:g} ms window)...")
         result = run_workload(name, WORKLOADS[name], warmup_ns=warmup_ns,
                               window_ns=window_ns, repeats=repeats,
                               profile=args.profile)
         report["workloads"][name] = result
         fast, slow = result["fast"], result["slow"]
-        print(f"  fast: {fast['events_per_sec'] / 1e3:8.1f}k events/s  "
+        nofu = result["fast_no_fusion"]
+        print(f"  fast:      {fast['events_per_sec'] / 1e3:8.1f}k events/s  "
               f"wall={fast['wall_clock_s']:.2f}s  events={fast['events_executed']}")
-        print(f"  slow: {slow['events_per_sec'] / 1e3:8.1f}k events/s  "
-              f"wall={slow['wall_clock_s']:.2f}s  events={slow['events_executed']}")
-        print(f"  speedup(fast/slow) = {result['speedup_vs_slow_lane']:.2f}x   "
-              f"consensus = {fast['ops_per_sec'] / 1e6:.2f} M/s   "
+        print(f"  no-fusion: {nofu['events_per_sec'] / 1e3:8.1f}k events/s  "
+              f"wall={nofu['wall_clock_s']:.2f}s")
+        print(f"  slow:      {slow['events_per_sec'] / 1e3:8.1f}k events/s  "
+              f"wall={slow['wall_clock_s']:.2f}s")
+        flight = fast["flight"]
+        print(f"  speedup(fast/slow) = {result['speedup_vs_slow_lane']:.2f}x  "
+              f"lane9 alone = {result['speedup_vs_no_fusion']:.2f}x   "
+              f"consensus = {fast['ops_per_sec'] / 1e6:.2f} M/s")
+        print(f"  lane9: {flight['flights_fused']} flights fused, "
+              f"{flight['hops_replayed']} hops, "
+              f"{flight['defusions']} defusions, "
+              f"{flight['express_fallbacks']} fallbacks   "
               f"digest = {fast['trace_digest'][:16]}...")
         if result["deterministic"]:
             print("  determinism: OK (events, metrics, trace digest identical)")

@@ -13,7 +13,13 @@ Three sections go into the report:
   point.  ``speedup_vs_serial`` compares the pool's wall clock against
   the sum of per-point wall clocks (what a serial loop would pay);
 * ``baseline`` -- per-workload fast-lane events/sec compared against a
-  checked-in ``BENCH_1.json``.
+  checked-in ``BENCH_3.json``.
+
+The sweep clamps ``--workers`` to the cores the process may run on and
+records both numbers; when ``speedup_vs_serial`` lands near 1x (single
+usable core, contended pool) the report carries a ``speedup_note``
+explaining why that is parallel-efficiency information, not a simulator
+regression.
 
 Determinism: ``PYTHONHASHSEED`` is pinned in the environment before the
 pool spawns, so worker trace behaviour (dict iteration, digests) is
@@ -64,11 +70,33 @@ def run_lane_checks(quick: bool, repeats: int) -> dict:
     return checks
 
 
+def available_cores() -> int:
+    """CPU cores this process may actually run on.
+
+    ``sched_getaffinity`` respects container/cgroup CPU masks where
+    ``os.cpu_count`` reports the bare-metal total; fall back to the
+    latter on platforms without affinity support.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def run_sweep(quick: bool, workers: int) -> dict:
     """Fan the benchmark matrix across ``workers`` processes."""
     specs = sweep_matrix(quick=quick)
-    print(f"[sweep] {len(specs)} points across {workers} worker(s)...",
-          flush=True)
+    cores = available_cores()
+    requested = workers
+    if workers > cores:
+        # More workers than runnable cores just adds spawn cost and
+        # time-slicing; the pool cannot go faster than the core count.
+        workers = cores
+        print(f"[sweep] WARNING: --workers {requested} exceeds the "
+              f"{cores} available core(s); clamping to {workers}",
+              flush=True)
+    print(f"[sweep] {len(specs)} points across {workers} worker(s) "
+          f"({cores} core(s) available)...", flush=True)
     t0 = time.perf_counter()
     if workers <= 1:
         points = [run_sweep_point(spec) for spec in specs]
@@ -88,13 +116,33 @@ def run_sweep(quick: bool, workers: int) -> dict:
     speedup = serial_cpu / parallel_wall if parallel_wall else 0.0
     print(f"[sweep] pool wall {parallel_wall:.1f}s vs serial-equivalent "
           f"{serial_cpu:.1f}s CPU -> {speedup:.2f}x", flush=True)
-    return {
+    report = {
         "workers": workers,
+        "workers_requested": requested,
+        "cores_available": cores,
         "points": points,
         "parallel_wall_s": parallel_wall,
         "serial_cpu_s": serial_cpu,
         "speedup_vs_serial": speedup,
     }
+    if speedup < 1.1:
+        # A ~0.97x "speedup" reads like the pool made things worse; spell
+        # out what it actually means so nobody chases a phantom
+        # regression in the report.
+        if cores == 1 or workers == 1:
+            report["speedup_note"] = (
+                "speedup_vs_serial ~1x is expected here: only one core is "
+                "usable, so the pool serialises and the ratio is CPU time "
+                "over wall time -- spawn/IPC overhead pushes it slightly "
+                "below 1.0. It measures parallel efficiency, not a "
+                "simulator regression.")
+        else:
+            report["speedup_note"] = (
+                "speedup_vs_serial near 1x despite multiple workers: the "
+                "cores are contended (co-tenant load or CPU quota), so "
+                "per-point CPU time, not the pool layout, bounds the wall "
+                "clock. Not a simulator regression.")
+    return report
 
 
 def compare_baseline(checks: dict, baseline_path: Path) -> dict:
@@ -131,8 +179,8 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path, default=_REPO / "BENCH_2.json",
                         help="where to write the JSON report")
     parser.add_argument("--baseline", type=Path,
-                        default=_REPO / "BENCH_1.json",
-                        help="BENCH_1-style report to compare against")
+                        default=_REPO / "BENCH_3.json",
+                        help="bench_sim-style report to compare against")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero on determinism failure or on "
                              "events/sec regression beyond --max-regression")
