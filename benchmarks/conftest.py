@@ -60,8 +60,59 @@ def _write_block(title: str, body: str) -> None:
             fh.write("\n" + block + "\n\n")
 
 
-def print_table(title: str, headers, rows) -> None:
-    """Render one paper-style results table to stdout and the log file."""
+def _parse_table_rows(body: str):
+    """(headers, rows) of a rendered block, columns split on 2+ spaces."""
+    lines = body.splitlines()
+    if len(lines) < 3:
+        return [], []
+    headers = re.split(r"\s{2,}", lines[1].strip())
+    rows = [re.split(r"\s{2,}", line.strip())
+            for line in lines[3:] if line.strip()]
+    return headers, rows
+
+
+def _merge_keyed_rows(title: str, headers, rows, key):
+    """Merge ``rows`` into the block's existing rows by the ``key`` column.
+
+    A partial re-run (e.g. the quick group-scaling sweep at G=1,2 after a
+    full 1,2,4,8 run) rewrites the rows it re-measured in place and keeps
+    the rest, instead of dropping them or appending duplicates.
+    """
+    header_strs = [str(h) for h in headers]
+    key_index = header_strs.index(str(key))
+    try:
+        with open(RESULTS_FILE) as fh:
+            blocks = dict(_parse_blocks(fh.read()))
+    except FileNotFoundError:
+        return rows
+    body = blocks.get(title)
+    if body is None:
+        return rows
+    old_headers, old_rows = _parse_table_rows(body)
+    if old_headers != header_strs:
+        return rows  # schema changed: start the block over
+    merged = [list(row) for row in old_rows]
+    keys = {row[key_index]: i for i, row in enumerate(merged)}
+    for row in rows:
+        row = [str(c) for c in row]
+        slot = keys.get(row[key_index])
+        if slot is None:
+            keys[row[key_index]] = len(merged)
+            merged.append(row)
+        else:
+            merged[slot] = row
+    return merged
+
+
+def print_table(title: str, headers, rows, key=None) -> None:
+    """Render one paper-style results table to stdout and the log file.
+
+    With ``key`` (a column name), rows are merged into the block's
+    existing rows by that column, so repeated partial runs rewrite their
+    rows in place rather than duplicating or truncating the table.
+    """
+    if key is not None:
+        rows = _merge_keyed_rows(title, headers, rows, key)
     widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
               for i, h in enumerate(headers)]
     line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))

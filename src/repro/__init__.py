@@ -24,6 +24,8 @@ from .consensus import (
     NotLeaderError,
     PendingEntry,
     Role,
+    ShardedCluster,
+    SwitchFabric,
 )
 
 __version__ = "1.0.0"
@@ -35,6 +37,8 @@ __all__ = [
     "NotLeaderError",
     "PendingEntry",
     "Role",
+    "ShardedCluster",
+    "SwitchFabric",
     "params",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Consensus core: the Mu decision protocol with two communication planes."""
 
-from .cluster import Cluster
+from .cluster import Cluster, ShardedCluster, SwitchFabric
 from .config import ClusterConfig
 from .heartbeat import HeartbeatService, PeerLiveness
 from .log import Log, LogEntry, encode_entry, entry_size
@@ -28,6 +28,8 @@ __all__ = [
     "PendingEntry",
     "ReplicaPath",
     "Role",
+    "ShardedCluster",
+    "SwitchFabric",
     "SwitchReplicator",
     "SwitchState",
     "encode_entry",

@@ -19,6 +19,7 @@ the failure modes of section V-E.
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Dict, List, Optional
 
 from .. import params
@@ -26,7 +27,7 @@ from ..net import AddressAllocator, Ipv4Address, connect
 from ..p4ce.controlplane import P4ceControlPlane
 from ..p4ce.dataplane import P4ceProgram
 from ..rdma.host import Host
-from ..sim import SeededRng, Simulator, Tracer
+from ..sim import SeededRng, ShardedKernel, Simulator, Tracer
 from ..sim.flight import FlightPlanner
 from ..switch.forwarding import L3ForwardProgram
 from ..switch.pipeline import Switch
@@ -35,24 +36,42 @@ from .member import Member, NotLeaderError, PeerInfo, Role
 from .replication import PendingEntry
 
 
-class Cluster:
-    """A full deployment: hosts, switches, members."""
+class SwitchFabric:
+    """The shared switching substrate: one simulated Tofino (plus the
+    optional backup router) that several clusters can attach to.
 
-    def __init__(self, config: ClusterConfig):
+    P4CE's switch is multi-tenant by construction -- the control plane
+    keys groups by leader IP and every register/table index derives from
+    the group index -- so G independent consensus groups can share one
+    physical switch.  The fabric owns everything that must be unique per
+    *switch* rather than per *cluster*: the event kernel, the address
+    allocators (tenant IPs must not collide), the flight planner, the
+    P4CE program and its control plane, and the provisioning budget.
+
+    A :class:`Cluster` built without an explicit fabric creates a private
+    one, which reproduces the historical single-tenant construction (same
+    RNG stream, same allocation order) bit for bit.
+    """
+
+    def __init__(self, config: ClusterConfig, shard_index: int = 0):
         self.config = config
+        self.shard_index = shard_index
         self.sim = Simulator()
         self.rng = SeededRng(config.seed)
         self.tracer = Tracer(self.sim, enabled=config.trace)
         # Flight fusion (fast lane 9): attaches itself to the simulator;
         # inert unless the lane flag is on and a clean path validates.
-        self.flight_planner = FlightPlanner(self.sim, tracer=self.tracer)
-        self._alloc = AddressAllocator()
-        self._backup_alloc = AddressAllocator(subnet="10.0.1.0",
-                                              mac_prefix=0x02_00_01_00_00_00)
+        # One planner per fabric = one per shard lane, so fusion engages
+        # and defuses independently per shard.
+        self.flight_planner = FlightPlanner(self.sim, tracer=self.tracer,
+                                            shard_index=shard_index)
+        self.alloc = AddressAllocator()
+        self.backup_alloc = AddressAllocator(subnet="10.0.1.0",
+                                             mac_prefix=0x02_00_01_00_00_00)
 
         # Primary switch, always running the P4CE program (Mu traffic
         # takes its L3 miss path, as on the shared physical testbed).
-        smac, sip = self._alloc.switch_address()
+        smac, sip = self.alloc.switch_address()
         self.switch = Switch(self.sim, "tofino", smac, sip, tracer=self.tracer)
         self.program = P4ceProgram(
             ack_drop_in_egress=config.ack_drop_in_egress,
@@ -67,10 +86,54 @@ class Cluster:
         # Backup switch (plain router).
         self.backup_switch: Optional[Switch] = None
         if config.backup_network:
-            bmac, bip = self._backup_alloc.switch_address()
+            bmac, bip = self.backup_alloc.switch_address()
             self.backup_switch = Switch(self.sim, "backup-sw", bmac, bip,
                                         tracer=self.tracer)
             self.backup_switch.load_program(L3ForwardProgram())
+
+        #: Clusters attached to this fabric, in attach order (tenant 0
+        #: first).
+        self.clusters: List["Cluster"] = []
+
+    def resource_snapshot(self):
+        """Per-pool {used, capacity} of the Tofino provisioning budget."""
+        return self.switch.resource_snapshot()
+
+    def __repr__(self) -> str:
+        return (f"SwitchFabric(shard={self.shard_index}, "
+                f"tenants={len(self.clusters)})")
+
+
+class Cluster:
+    """A full deployment: hosts, switches, members."""
+
+    def __init__(self, config: ClusterConfig,
+                 fabric: Optional[SwitchFabric] = None):
+        self.config = config
+        if fabric is None:
+            fabric = SwitchFabric(config)
+        self.fabric = fabric
+        #: Position among the fabric's tenants (0 for the historical
+        #: single-tenant shape).
+        self.tenant_index = len(fabric.clusters)
+        fabric.clusters.append(self)
+        self.sim = fabric.sim
+        # Tenant 0 draws from the fabric's root RNG -- exactly the
+        # pre-fabric stream, keeping single-tenant traces bit-identical.
+        # Later tenants fork a stream keyed by their index (fork is
+        # stateless, so the derivation is order-independent).
+        self.rng = (fabric.rng if self.tenant_index == 0
+                    else fabric.rng.fork(f"tenant{self.tenant_index}"))
+        self.tracer = fabric.tracer
+        self.flight_planner = fabric.flight_planner
+        self._alloc = fabric.alloc
+        self._backup_alloc = fabric.backup_alloc
+        self.switch = fabric.switch
+        self.program = fabric.program
+        self.control_plane = fabric.control_plane
+        self.switch_ip: Ipv4Address = fabric.switch_ip
+        self.backup_switch: Optional[Switch] = (
+            fabric.backup_switch if config.backup_network else None)
 
         self.hosts: List[Host] = []
         self.members: Dict[int, Member] = {}
@@ -80,21 +143,25 @@ class Cluster:
         self._build()
 
     @classmethod
-    def build(cls, config: Optional[ClusterConfig] = None, **overrides) -> "Cluster":
+    def build(cls, config: Optional[ClusterConfig] = None,
+              fabric: Optional[SwitchFabric] = None, **overrides) -> "Cluster":
         if config is None:
             config = ClusterConfig(**overrides)
         elif overrides:
             config = config.replace(**overrides)
-        return cls(config)
+        return cls(config, fabric=fabric)
 
     # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------
 
     def _build(self) -> None:
+        # Tenant 0 keeps the historical bare names; co-resident tenants
+        # get a group prefix so shared-fabric traces stay readable.
+        prefix = f"g{self.tenant_index}." if self.tenant_index else ""
         for node_id in range(self.config.num_machines):
             mac, ip = self._alloc.next_host()
-            host = Host(self.sim, f"m{node_id}", node_id, mac, ip,
+            host = Host(self.sim, f"{prefix}m{node_id}", node_id, mac, ip,
                         rng=self.rng.fork(f"host{node_id}"), tracer=self.tracer)
             host.nic.pmtu = self.config.pmtu
             port = self.switch.free_port()
@@ -220,3 +287,141 @@ class Cluster:
     def __repr__(self) -> str:
         return (f"Cluster({self.config.protocol}, n={self.config.num_machines}, "
                 f"leader={self._leader_hint})")
+
+
+class ShardedCluster:
+    """G consensus groups over a hash-partitioned keyspace.
+
+    Each *shard* is a full consensus group (leader + replicas) serving a
+    deterministic slice of the keyspace (``crc32(key) % G`` -- a stable
+    hash, identical in every process).  Two placements:
+
+    * ``mode="tenant"`` -- all G groups co-resident on ONE simulated
+      Tofino (one :class:`SwitchFabric`, one event kernel).  This is the
+      paper's multi-tenant switch: shared register banks, shared
+      multicast engine, shared provisioning budget.
+    * ``mode="lanes"`` -- one fabric (switch + kernel lane) per shard,
+      merged through a :class:`~repro.sim.ShardedKernel` in the
+      deterministic (time, shard, seq) order.  Shards share no mutable
+      state, which is exactly the decomposition the process-parallel
+      runner exploits: per-shard traces are reproduced bit-identically
+      whether lanes run interleaved, sequentially, or on worker
+      processes.
+
+    Shard 0 always uses ``config.seed`` unchanged, so a single-group
+    sharded run is the same simulation as the unsharded harness.
+    """
+
+    #: Multiplier spreading per-shard seeds (any odd constant works; the
+    #: value only needs to be stable forever).
+    _SEED_STRIDE = 1_000_003
+
+    def __init__(self, num_groups: int,
+                 config: Optional[ClusterConfig] = None,
+                 mode: str = "lanes", **overrides):
+        if num_groups < 1:
+            raise ValueError("need at least one group")
+        if mode not in ("lanes", "tenant"):
+            raise ValueError(f"unknown sharding mode {mode!r}")
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.num_groups = num_groups
+        self.config = config
+        self.mode = mode
+        self.shards: List[Cluster] = []
+        self.fabrics: List[SwitchFabric] = []
+        if mode == "tenant":
+            fabric = SwitchFabric(config)
+            self.fabrics.append(fabric)
+            for shard in range(num_groups):
+                self.shards.append(Cluster(config, fabric=fabric))
+            self.kernel = None
+        else:
+            for shard in range(num_groups):
+                shard_config = config.replace(
+                    seed=self.shard_seed(config.seed, shard))
+                fabric = SwitchFabric(shard_config, shard_index=shard)
+                self.fabrics.append(fabric)
+                self.shards.append(Cluster(shard_config, fabric=fabric))
+            self.kernel = ShardedKernel(
+                [shard.sim for shard in self.shards],
+                lookahead_ns=self.lookahead_ns)
+
+    @staticmethod
+    def shard_seed(base_seed: int, shard: int) -> int:
+        """Seed of shard ``shard``; shard 0 keeps the base seed."""
+        return base_seed + ShardedCluster._SEED_STRIDE * shard
+
+    @property
+    def lookahead_ns(self) -> float:
+        """Conservative safe window for parallel shard execution: the
+        minimum latency of any cross-shard link.  The shard topology has
+        *no* cross-shard links, so any positive window is safe; the link
+        propagation delay is the natural (and documented) floor."""
+        return params.LINK_PROPAGATION_NS
+
+    # -- keyspace routing ---------------------------------------------------
+
+    def shard_of(self, key) -> int:
+        """Deterministic hash partition: crc32 (stable across processes,
+        unlike ``hash()``) of the key's bytes, modulo G."""
+        if isinstance(key, int):
+            key = key.to_bytes(8, "big", signed=True)
+        elif isinstance(key, str):
+            key = key.encode()
+        return zlib.crc32(key) % self.num_groups
+
+    def propose(self, key, payload: bytes,
+                callback: Optional[Callable[[PendingEntry], None]] = None) -> int:
+        """Submit ``payload`` to the group owning ``key``; returns the
+        shard index it was routed to."""
+        shard = self.shard_of(key)
+        self.shards[shard].propose(payload, callback)
+        return shard
+
+    def propose_on(self, shard: int, payload: bytes,
+                   callback: Optional[Callable[[PendingEntry], None]] = None) -> None:
+        self.shards[shard].propose(payload, callback)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def await_ready(self, timeout_ns: float = 2_000_000_000) -> List[Member]:
+        """Bootstrap every group to a serving leader (shard order)."""
+        leaders = [shard.await_ready(timeout_ns) for shard in self.shards]
+        if self.kernel is not None:
+            self.kernel.rebase()
+        return leaders
+
+    def run_for(self, duration_ns: float, epoch_ns: Optional[float] = None,
+                on_epoch=None) -> None:
+        """Advance all groups ``duration_ns``.
+
+        Lanes mode goes through the sharded kernel's epoch barriers
+        (``on_epoch`` fires at each); tenant mode is one shared kernel,
+        so it simply runs.
+        """
+        if self.kernel is not None:
+            self.kernel.rebase()
+            self.kernel.run_window(duration_ns, epoch_ns=epoch_ns,
+                                   on_epoch=on_epoch)
+        else:
+            sim = self.shards[0].sim
+            sim.run(until=sim.now + duration_ns)
+
+    # -- metrics ------------------------------------------------------------
+
+    def total_commits(self) -> int:
+        return sum(shard.total_commits() for shard in self.shards)
+
+    def per_shard_commits(self) -> List[int]:
+        return [shard.total_commits() for shard in self.shards]
+
+    def flight_stats(self) -> List[Dict[str, int]]:
+        """Per-shard flight-fusion attribution (one planner per fabric)."""
+        return [fabric.flight_planner.stats() for fabric in self.fabrics]
+
+    def __repr__(self) -> str:
+        return (f"ShardedCluster(G={self.num_groups}, mode={self.mode}, "
+                f"commits={self.total_commits()})")

@@ -136,7 +136,10 @@ class Member:
         # Leader state.
         self._seq = 0
         self.inflight: Deque[PendingEntry] = deque()
-        self._batch_queue: List[PendingEntry] = []
+        # Deque: _flush_batches drains from the head, and at saturation the
+        # queue holds a full pipeline window -- list.pop(0) made every drain
+        # O(queue length).
+        self._batch_queue: Deque[PendingEntry] = deque()
         self._batches_inflight = 0
         self._queued: Deque["tuple[bytes, Optional[Callable]]"] = deque()
         self.commits = 0
@@ -683,12 +686,12 @@ class Member:
                    and len(batch_entries) < self.config.batch_max_entries
                    and batch_bytes + self._batch_queue[0].size
                        <= self.config.batch_max_bytes):
-                item = self._batch_queue.pop(0)
+                item = self._batch_queue.popleft()
                 batch_entries.append(item)
                 batch_bytes += item.size
             if not batch_entries:
                 # A single oversized value: send it alone.
-                batch_entries.append(self._batch_queue.pop(0))
+                batch_entries.append(self._batch_queue.popleft())
             if len(batch_entries) == 1:
                 carrier = batch_entries[0]
             else:

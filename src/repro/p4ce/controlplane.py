@@ -44,6 +44,7 @@ from ..rdma.cm import (
 from ..sim import SeededRng, Simulator, Tracer
 from ..switch.multicast import MulticastCopy
 from ..switch.pipeline import Switch
+from ..switch.resources import SwitchResourceError
 from .connection import ConnectionStructure
 from .dataplane import EMPTY_CREDIT, MAX_GROUPS, P4ceProgram
 from .group import CommunicationGroup, GroupState
@@ -123,6 +124,12 @@ class P4ceControlPlane:
         self._free_group_indexes: List[int] = []
         #: Total groups configured (diagnostics / tests).
         self.groups_configured = 0
+        #: Leader requests refused because a Tofino budget was exhausted
+        #: (the request gets a CM REJECT instead of crashing the switch).
+        self.provision_rejects = 0
+        #: Shared Tofino provisioning budget (set by ``load_program``);
+        #: None for programs that do not declare one.
+        self.resources = switch.resources
         switch.cpu_handler = self.handle_cpu_packet
 
     # ------------------------------------------------------------------
@@ -180,7 +187,25 @@ class P4ceControlPlane:
         # so replication through the old group continues during the 40 ms
         # reconfiguration window.
         replaces = self._group_by_leader.get(leader_ip.value)
-        group = self._allocate_group(leader_ip, request.epoch)
+        # Provisioning admission: the whole group must fit the Tofino
+        # budgets (group index, one endpoint id per machine, replica slots)
+        # or the leader gets a typed CM REJECT -- a request for a 65th
+        # group must never crash the switch CPU or alias another tenant.
+        if len(request.replica_ips) > CommunicationGroup.MAX_REPLICAS:
+            self.provision_rejects += 1
+            self._send_cm(leader_ip, CmMessage(MSG_CONNECT_REJECT,
+                                               remote_cm_id=message.local_cm_id,
+                                               reject_reason=2))
+            return
+        try:
+            self._require_endpoint_ids(1 + len(request.replica_ips))
+            group = self._allocate_group(leader_ip, request.epoch)
+        except SwitchResourceError:
+            self.provision_rejects += 1
+            self._send_cm(leader_ip, CmMessage(MSG_CONNECT_REJECT,
+                                               remote_cm_id=message.local_cm_id,
+                                               reject_reason=2))
+            return
         leader_route = self._route_of(leader_ip)
         if leader_route is None:
             self._send_cm(leader_ip, CmMessage(MSG_CONNECT_REJECT,
@@ -298,6 +323,15 @@ class P4ceControlPlane:
             return  # torn down while waiting
         leader = group.leader_conn
         assert leader is not None
+        # Charge the table-entry and replication-engine budgets before
+        # writing anything: a partial programming pass would leave orphan
+        # entries behind a rejected group.
+        try:
+            self._charge_entries(len(pending.replicas))
+        except SwitchResourceError:
+            self.provision_rejects += 1
+            self._abort_group(pending, reason=2)
+            return
         # Replication engine: one copy per replica, rid = endpoint id.
         group.multicast_group_id = 1 + group.group_index
         copies = []
@@ -332,12 +366,12 @@ class P4ceControlPlane:
                 ip=conn.ip, mac=conn.mac, qpn=conn.qpn,
                 udp_port=conn.udp_port, va_base=conn.virtual_address,
                 r_key=conn.r_key, psn_offset=conn.psn_offset)
-        # Reset this group's register windows.
-        for cell in range(group.numrecv_base,
-                          group.numrecv_base + params.NUMRECV_SLOTS):
-            self.program.numrecv.cp_write(cell, 0)
+        # Reset this group's register windows through the bounds-checked
+        # per-group views: an off-by-one here would alias a co-resident
+        # group's state on real hardware -- the window makes it raise.
+        group.numrecv_window(self.program.numrecv).cp_fill(0)
         for register in self.program.credits:
-            register.cp_write(group.group_index, EMPTY_CREDIT)
+            group.credit_window(register).cp_write(0, EMPTY_CREDIT)
         group.state = GroupState.ACTIVE
         self.groups_configured += 1
         if pending.replaces is not None:
@@ -388,34 +422,104 @@ class P4ceControlPlane:
                 self.program.aggr_table.del_entry((aggr_qpn,))
                 self.program.egress_conn_table.del_entry((endpoint_id,))
             self.switch.multicast.delete_group(group.multicast_group_id)
+            self._release_entries(len(group.replica_conns))
         group.state = GroupState.CLOSED
         # Return identifiers to the pools.
+        budget = self.resources
         if group.leader_conn is not None:
             self._free_endpoint_ids.append(group.leader_conn.endpoint_id)
+            if budget is not None:
+                budget.release("endpoint_ids")
         for endpoint_id in group.replica_conns:
             self._free_endpoint_ids.append(endpoint_id)
+            if budget is not None:
+                budget.release("endpoint_ids")
         self._free_group_indexes.append(group.group_index)
+        if budget is not None:
+            budget.release("communication_groups")
+            budget.release("numrecv_windows")
+            budget.release("credit_windows")
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
 
     def _allocate_group(self, leader_ip: Ipv4Address, epoch: int) -> CommunicationGroup:
+        budget = self.resources
+        if budget is not None:
+            budget.acquire("communication_groups")
+            budget.acquire("numrecv_windows")
+            budget.acquire("credit_windows")
         if self._free_group_indexes:
             index = self._free_group_indexes.pop()
         else:
             index = self._next_group_index
-            self._next_group_index += 1
             if index >= MAX_GROUPS:
-                raise RuntimeError("out of communication groups")
+                # Only reachable without a declared budget (which would
+                # have rejected the acquire above).
+                raise SwitchResourceError("communication_groups", 1,
+                                          MAX_GROUPS, MAX_GROUPS)
+            self._next_group_index += 1
         return CommunicationGroup(index, leader_ip, epoch)
 
     def _release_group(self, group: CommunicationGroup) -> None:
         self.groups.pop(group.group_index, None)
         self._group_by_leader.pop(group.leader_ip.value, None)
         self._free_group_indexes.append(group.group_index)
+        budget = self.resources
+        if budget is not None:
+            budget.release("communication_groups")
+            budget.release("numrecv_windows")
+            budget.release("credit_windows")
         if group.leader_conn is not None:
             self._free_endpoint_ids.append(group.leader_conn.endpoint_id)
+            if budget is not None:
+                budget.release("endpoint_ids")
+
+    def _charge_entries(self, replicas: int) -> None:
+        """Acquire the table/replication-engine budget for one group,
+        atomically: on failure nothing stays charged."""
+        budget = self.resources
+        if budget is None:
+            return
+        charged = []
+        try:
+            for pool, count in (("bcast_entries", 1),
+                                ("aggr_entries", replicas),
+                                ("egress_conn_entries", replicas),
+                                ("multicast_group_ids", 1)):
+                budget.acquire(pool, count)
+                charged.append((pool, count))
+        except SwitchResourceError:
+            for pool, count in charged:
+                budget.release(pool, count)
+            raise
+
+    def _release_entries(self, replicas: int) -> None:
+        budget = self.resources
+        if budget is None:
+            return
+        budget.release("bcast_entries", 1)
+        budget.release("aggr_entries", replicas)
+        budget.release("egress_conn_entries", replicas)
+        budget.release("multicast_group_ids", 1)
+
+    def _require_endpoint_ids(self, count: int) -> None:
+        """Admission check: ``count`` endpoint ids must be free *now*.
+
+        Checked before any per-replica CM traffic goes out, because a
+        failure after the k-th replica handshake started could not be
+        rolled back cleanly.
+        """
+        budget = self.resources
+        if budget is not None:
+            free = budget.remaining("endpoint_ids")
+        else:
+            free = len(self._free_endpoint_ids) + max(
+                0, 256 - self._next_endpoint_id)
+        if count > free:
+            raise SwitchResourceError("endpoint_ids", count,
+                                      255 - free, 255)
 
     def _route_of(self, ip: Ipv4Address):
         entry = self.switch.l3_table.lookup(ip.value)
@@ -430,12 +534,15 @@ class P4ceControlPlane:
                 return qpn
 
     def _fresh_endpoint_id(self) -> int:
+        budget = self.resources
+        if budget is not None:
+            budget.acquire("endpoint_ids")
         if self._free_endpoint_ids:
             return self._free_endpoint_ids.pop()
         endpoint_id = self._next_endpoint_id
-        self._next_endpoint_id += 1
         if endpoint_id >= 256:
-            raise RuntimeError("out of endpoint identifiers")
+            raise SwitchResourceError("endpoint_ids", 1, 255, 255)
+        self._next_endpoint_id += 1
         return endpoint_id
 
     def _send_cm(self, dst_ip: Ipv4Address, message: CmMessage) -> None:

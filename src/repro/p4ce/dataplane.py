@@ -163,6 +163,25 @@ class P4ceProgram(SwitchProgram):
         self._egress_cache = FlowVerdictCache(self.egress_conn_table)
         self._switch_ip_value = switch.ip.value
 
+    def resource_budget(self):
+        """Tofino budgets the control plane charges while provisioning.
+
+        Every pool capacity derives from an actual structure above (table
+        capacities, register sizes) rather than a free-standing constant,
+        so the accounting cannot drift from the data plane it guards.
+        """
+        from ..switch.resources import ResourceBudget
+        return ResourceBudget({
+            "communication_groups": MAX_GROUPS,
+            # Endpoint ids are one octet with 0 reserved for "none".
+            "endpoint_ids": 255,
+            "bcast_entries": self.bcast_table.capacity,
+            "aggr_entries": self.aggr_table.capacity,
+            "egress_conn_entries": self.egress_conn_table.capacity,
+            "numrecv_windows": self.numrecv.size // params.NUMRECV_SLOTS,
+            "credit_windows": min(r.size for r in self.credits),
+        })
+
     # ------------------------------------------------------------------
     # Ingress
     # ------------------------------------------------------------------

@@ -85,6 +85,18 @@ class CommunicationGroup:
         # Endpoint ids for replicas start at 1; slot 0..MAX_REPLICAS-1.
         return self.credit_base + (endpoint_id - 1) % self.MAX_REPLICAS
 
+    def numrecv_window(self, register):
+        """Bounds-checked view of this group's 256 NumRecv cells.
+
+        Going through the window (instead of raw indices into the shared
+        register) turns any cross-group alias into an ``IndexError``.
+        """
+        return register.window(self.numrecv_base, params.NUMRECV_SLOTS)
+
+    def credit_window(self, register):
+        """This group's single cell in one per-slot MinCredit register."""
+        return register.window(self.group_index, 1)
+
     # -- membership --------------------------------------------------------------------
 
     @property

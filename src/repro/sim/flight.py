@@ -151,9 +151,14 @@ class FlightPlanner:
     attaches the drain hook the kernel polls before executing events.
     """
 
-    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None,
+                 shard_index: int = 0):
         self._sim = sim
         self._tracer = tracer
+        #: Which shard (consensus group) this planner serves -- one
+        #: planner per lane, so fusion engages and defuses independently
+        #: per shard; purely a reporting label.
+        self.shard_index = shard_index
         #: Global hop heap, shared with the kernel (``sim._flight_queue``):
         #: (vt, seq, real_fn, real_args, flight, express_fn, ctx) tuples.
         self._fq: List[tuple] = sim._flight_queue
@@ -182,6 +187,19 @@ class FlightPlanner:
         self.express_fallbacks = 0
         sim._flight_drain = self.drain
         sim._flight_planner = self
+
+    def stats(self) -> Dict[str, int]:
+        """Per-shard fusion attribution (bench reports key these by
+        shard to prove lane 9 engages at every G)."""
+        return {
+            "shard_index": self.shard_index,
+            "flights_fused": self.flights_fused,
+            "hops_replayed": self.hops_replayed,
+            "defusions": self.defusions,
+            "terminal_fires": self.terminal_fires,
+            "fuse_rejects": self.fuse_rejects,
+            "express_fallbacks": self.express_fallbacks,
+        }
 
     # ------------------------------------------------------------------
     # Fusion entry point (called from RNic._launch)

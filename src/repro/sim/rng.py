@@ -7,6 +7,7 @@ fault-injection coin flips, workload inter-arrival jitter) draws from a
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Sequence, TypeVar
 
@@ -24,9 +25,15 @@ class SeededRng:
         """Derive an independent, reproducible sub-stream.
 
         Components take a fork keyed by their name so that adding a new
-        consumer of randomness does not perturb existing streams.
+        consumer of randomness does not perturb existing streams.  The
+        derivation is a keyed *stable* hash (not Python's ``hash()``,
+        which is salted per process): worker processes of the sharded
+        runner must regenerate bit-identical streams from (seed, label)
+        alone, whatever their ``PYTHONHASHSEED``.
         """
-        return SeededRng(hash((self.seed, label)) & 0xFFFF_FFFF_FFFF_FFFF)
+        digest = hashlib.blake2b(f"{self.seed}:{label}".encode(),
+                                 digest_size=8).digest()
+        return SeededRng(int.from_bytes(digest, "big"))
 
     # -- primitive draws ----------------------------------------------------
 

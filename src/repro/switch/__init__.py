@@ -11,10 +11,12 @@ from .alu import (
 from .forwarding import L3ForwardProgram
 from .multicast import MulticastCopy, MulticastEngine
 from .pipeline import IngressVerdict, Switch, SwitchProgram, VerdictKind
-from .registers import Register, RegisterAccessError, RegisterAction
+from .registers import Register, RegisterAccessError, RegisterAction, RegisterWindow
 from .resources import (
     PipelineLayout,
+    ResourceBudget,
     ResourceError,
+    SwitchResourceError,
     TOFINO1_STAGES,
     p4ce_layout,
 )
@@ -32,8 +34,11 @@ __all__ = [
     "Register",
     "RegisterAccessError",
     "RegisterAction",
+    "RegisterWindow",
+    "ResourceBudget",
     "ResourceError",
     "Switch",
+    "SwitchResourceError",
     "TOFINO1_STAGES",
     "SwitchProgram",
     "TableFullError",

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from .resources import SwitchResourceError
+
 
 class MulticastCopy:
     """One replica of a multicast packet."""
@@ -54,7 +56,8 @@ class MulticastEngine:
 
     def create_group(self, group_id: int, copies: Sequence[MulticastCopy]) -> None:
         if group_id not in self._groups and len(self._groups) >= self.capacity:
-            raise RuntimeError("multicast engine is full")
+            raise SwitchResourceError("multicast_group_ids", 1,
+                                      len(self._groups), self.capacity)
         if not copies:
             raise ValueError("a multicast group needs at least one copy")
         self._groups[group_id] = tuple(copies)
@@ -92,6 +95,10 @@ class MulticastEngine:
         if copies is None:
             return None
         return self.version, copies
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - len(self._groups)
 
     def __contains__(self, group_id: int) -> bool:
         return group_id in self._groups

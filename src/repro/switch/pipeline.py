@@ -85,6 +85,12 @@ class SwitchProgram:
     def on_egress(self, out_port: int, replication_id: int, packet: Packet) -> bool:
         return True
 
+    def resource_budget(self):
+        """Optional :class:`~repro.switch.resources.ResourceBudget`
+        declaring this program's provisioning pools; the switch attaches
+        it (plus its own device pools) at :meth:`Switch.load_program`."""
+        return None
+
 
 class PortCounters:
     __slots__ = ("rx_frames", "tx_frames", "rx_drops", "egress_runs")
@@ -134,6 +140,10 @@ class Switch:
         self._ingress_parser_busy: List[float] = [0.0] * num_ports
         self._egress_parser_busy: List[float] = [0.0] * num_ports
         self._next_packet_token = 1
+        #: Provisioning budget of the loaded program plus device pools
+        #: (multicast group ids); None until a budget-declaring program
+        #: is loaded.
+        self.resources = None
 
     # ------------------------------------------------------------------
     # Program and routing management (control plane / setup)
@@ -142,6 +152,17 @@ class Switch:
     def load_program(self, program: SwitchProgram) -> None:
         self.program = program
         program.attach(self)
+        budget = program.resource_budget()
+        if budget is not None:
+            # The replication engine is a device resource, not a program
+            # one; fold it into the same budget so one snapshot covers
+            # everything provisioning can exhaust.
+            budget.add_pool("multicast_group_ids", self.multicast.capacity)
+        self.resources = budget
+
+    def resource_snapshot(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """Per-pool ``{used, capacity}`` of the loaded program's budget."""
+        return None if self.resources is None else self.resources.snapshot()
 
     def add_host_route(self, ip: Ipv4Address, port_index: int, mac: MacAddress) -> None:
         self.l3_table.add_entry((ip.value,), "forward",

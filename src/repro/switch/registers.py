@@ -84,11 +84,72 @@ class Register:
         if watch is not None:
             watch.on_cp_write(self)
 
+    def window(self, base: int, length: int) -> "RegisterWindow":
+        """A bounds-checked view over ``[base, base+length)``.
+
+        Multi-group programs carve one physical register into per-group
+        windows (e.g. 256 NumRecv slots per communication group); the
+        view turns an out-of-window index -- which on hardware would
+        silently alias another tenant's state -- into an ``IndexError``.
+        """
+        return RegisterWindow(self, base, length)
+
     def __len__(self) -> int:
         return self.size
 
     def __repr__(self) -> str:
         return f"Register({self.name!r}, size={self.size}, width={self.width})"
+
+
+class RegisterWindow:
+    """Control-plane view of one group's slice of a shared register.
+
+    All accesses are relative to ``base`` and checked against ``length``
+    so group *k*'s driver code cannot touch group *j*'s cells -- the
+    isolation property the multi-group tests assert across the 256-PSN
+    wrap.
+    """
+
+    __slots__ = ("register", "base", "length")
+
+    def __init__(self, register: Register, base: int, length: int):
+        if length <= 0:
+            raise ValueError("window length must be positive")
+        if not (0 <= base and base + length <= register.size):
+            raise IndexError(
+                f"register {register.name!r}: window [{base}, "
+                f"{base + length}) outside 0..{register.size - 1}")
+        self.register = register
+        self.base = base
+        self.length = length
+
+    def _abs(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise IndexError(
+                f"register {self.register.name!r}: window-relative index "
+                f"{index} outside 0..{self.length - 1}")
+        return self.base + index
+
+    def cp_read(self, index: int) -> int:
+        return self.register.cp_read(self._abs(index))
+
+    def cp_write(self, index: int, value: int) -> None:
+        self.register.cp_write(self._abs(index), value)
+
+    def cp_fill(self, value: int) -> None:
+        for i in range(self.length):
+            self.register.cp_write(self.base + i, value)
+
+    def cells(self) -> List[int]:
+        """Copy of the window's cells (tests/diagnostics)."""
+        return self.register._cells[self.base:self.base + self.length]
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return (f"RegisterWindow({self.register.name!r}, base={self.base}, "
+                f"length={self.length})")
 
 
 class RegisterAction:

@@ -33,6 +33,86 @@ class ResourceError(ValueError):
     """The declared layout cannot be placed on the ASIC."""
 
 
+class SwitchResourceError(ResourceError):
+    """A runtime provisioning request exceeds a Tofino budget.
+
+    Raised by :class:`ResourceBudget` (and the allocators built on it:
+    multicast group IDs, table entries, register windows, communication
+    groups) so the control plane can *reject* the request -- e.g. with a
+    CM REJECT toward the asking leader -- instead of crashing the event
+    loop or silently aliasing another tenant's state.
+    """
+
+    def __init__(self, pool: str, requested: int, used: int, capacity: int):
+        self.pool = pool
+        self.requested = requested
+        self.used = used
+        self.capacity = capacity
+        super().__init__(
+            f"switch resource {pool!r} exhausted: requested {requested}, "
+            f"{capacity - used} of {capacity} free")
+
+
+class ResourceBudget:
+    """Named allocation pools with hard Tofino capacities.
+
+    The budget does pure accounting -- callers still hand out the actual
+    indices/IDs -- so charging it never perturbs allocation order, RNG
+    draws, or event timing (digest-critical).  ``acquire`` raises
+    :class:`SwitchResourceError` when a pool would overflow; ``release``
+    returns capacity on teardown.
+    """
+
+    def __init__(self, pools: Optional[Dict[str, int]] = None):
+        self._capacity: Dict[str, int] = {}
+        self._used: Dict[str, int] = {}
+        for name, capacity in (pools or {}).items():
+            self.add_pool(name, capacity)
+
+    def add_pool(self, name: str, capacity: int) -> None:
+        if capacity < 0:
+            raise ResourceError(f"pool {name!r}: negative capacity {capacity}")
+        self._capacity[name] = capacity
+        self._used.setdefault(name, 0)
+
+    def acquire(self, pool: str, count: int = 1) -> None:
+        if pool not in self._capacity:
+            raise ResourceError(f"unknown resource pool {pool!r}")
+        used = self._used[pool]
+        capacity = self._capacity[pool]
+        if used + count > capacity:
+            raise SwitchResourceError(pool, count, used, capacity)
+        self._used[pool] = used + count
+
+    def release(self, pool: str, count: int = 1) -> None:
+        if pool not in self._capacity:
+            raise ResourceError(f"unknown resource pool {pool!r}")
+        used = self._used[pool] - count
+        if used < 0:
+            raise ResourceError(
+                f"pool {pool!r}: released more than acquired")
+        self._used[pool] = used
+
+    def used(self, pool: str) -> int:
+        return self._used[pool]
+
+    def remaining(self, pool: str) -> int:
+        return self._capacity[pool] - self._used[pool]
+
+    def capacity(self, pool: str) -> int:
+        return self._capacity[pool]
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """``{pool: {used, capacity}}`` for diagnostics/reports."""
+        return {name: {"used": self._used[name], "capacity": capacity}
+                for name, capacity in sorted(self._capacity.items())}
+
+    def __repr__(self) -> str:
+        pools = ", ".join(f"{n}={self._used[n]}/{c}"
+                          for n, c in sorted(self._capacity.items()))
+        return f"ResourceBudget({pools})"
+
+
 class PlacedObject:
     """A table or register pinned to one pipeline stage."""
 

@@ -1,0 +1,168 @@
+"""Multi-group (multi-tenant) provisioning on one simulated Tofino.
+
+Covers the sharding tentpole's switch-side guarantees:
+
+* G communication groups co-resident on ONE switch (tenant mode), each
+  serving its own consensus group;
+* per-group NumRecv / MinCredit register isolation, including across the
+  256-PSN wrap (cross-group aliases raise IndexError);
+* provisioning past the Tofino budget raises the typed
+  :class:`SwitchResourceError` inside the switch and surfaces to the
+  leader as a CM reject -- the cluster degrades to the direct plane
+  instead of crashing.
+"""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, ShardedCluster, SwitchFabric, params
+from repro.switch import ResourceBudget, SwitchResourceError
+
+MS = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def tenant_pair():
+    """Two consensus groups provisioned on one switch fabric.
+
+    Module-scoped: the register-isolation test scribbles into live
+    registers, so it must run AFTER the commit-flow test (tests in this
+    file are ordered accordingly).
+    """
+    sharded = ShardedCluster(2, mode="tenant", num_replicas=2,
+                             protocol="p4ce", seed=17)
+    leaders = sharded.await_ready()
+    return sharded, leaders
+
+
+class TestTenantProvisioning:
+    def test_two_groups_on_one_switch(self, tenant_pair):
+        sharded, leaders = tenant_pair
+        fabric = sharded.fabrics[0]
+        assert len(sharded.fabrics) == 1  # ONE switch
+        assert all(leader.is_leader for leader in leaders)
+        groups = fabric.control_plane.groups
+        assert len(groups) == 2
+        assert sorted(g.group_index for g in groups.values()) == [0, 1]
+        # Distinct leaders, distinct broadcast QPNs.
+        leader_ips = {g.leader_ip.value for g in groups.values()}
+        assert len(leader_ips) == 2
+        bcast = {g.bcast_qpn for g in groups.values()}
+        assert len(bcast) == 2
+
+    def test_budget_accounts_both_tenants(self, tenant_pair):
+        sharded, _ = tenant_pair
+        snap = sharded.fabrics[0].resource_snapshot()
+        assert snap["communication_groups"]["used"] == 2
+        assert snap["multicast_group_ids"]["used"] == 2
+        assert snap["numrecv_windows"]["used"] == 2
+        assert snap["credit_windows"]["used"] == 2
+        # One broadcast entry per group, one aggr + egress entry per
+        # replica connection (2 replicas each).
+        assert snap["bcast_entries"]["used"] == 2
+        assert snap["aggr_entries"]["used"] == 4
+        assert snap["egress_conn_entries"]["used"] == 4
+        # 1 leader + 2 replicas per group.
+        assert snap["endpoint_ids"]["used"] == 6
+
+    def test_both_groups_commit(self, tenant_pair):
+        sharded, _ = tenant_pair
+        done = {0: 0, 1: 0}
+        for shard in range(2):
+            def on_commit(entry, _shard=shard):
+                if entry.committed:
+                    done[_shard] += 1
+            sharded.propose_on(shard, b"x" * 64, on_commit)
+        sharded.run_for(2 * MS)
+        assert done[0] >= 1 and done[1] >= 1
+        assert sharded.per_shard_commits()[0] >= 1
+        assert sharded.total_commits() >= 2
+
+    def test_keyspace_routing_is_stable(self, tenant_pair):
+        sharded, _ = tenant_pair
+        shards = [sharded.shard_of(f"key-{i}") for i in range(64)]
+        assert set(shards) == {0, 1}  # both shards get keys
+        # crc32 routing is a pure function -- identical on re-query.
+        assert shards == [sharded.shard_of(f"key-{i}") for i in range(64)]
+        assert sharded.shard_of(12345) == sharded.shard_of(12345)
+
+    # -- register isolation (mutates live registers: keep this last) ---------
+
+    def test_numrecv_isolation_across_psn_wrap(self, tenant_pair):
+        sharded, _ = tenant_pair
+        fabric = sharded.fabrics[0]
+        g0, g1 = (fabric.control_plane.groups[i] for i in (0, 1))
+        numrecv = fabric.program.numrecv
+        w0 = g0.numrecv_window(numrecv)
+        w1 = g1.numrecv_window(numrecv)
+        assert len(w0) == len(w1) == params.NUMRECV_SLOTS
+        # PSN p and p + 256 alias the same slot *within* the group...
+        wrap_psn = params.NUMRECV_SLOTS + 5
+        assert g1.numrecv_slot(wrap_psn) == g1.numrecv_base + 5
+        # ...and never reach beyond it: the wrapped slot of group 0 stays
+        # inside group 0's window even though group 1's base is next door.
+        before = [w1.cp_read(i) for i in range(len(w1))]
+        w0.cp_fill(9)
+        w0.cp_write(wrap_psn % params.NUMRECV_SLOTS, 13)
+        assert [w1.cp_read(i) for i in range(len(w1))] == before
+        # Cross-group aliasing through a window is an error, not a write.
+        with pytest.raises(IndexError):
+            w0.cp_read(params.NUMRECV_SLOTS)
+        with pytest.raises(IndexError):
+            w0.cp_write(-1, 1)
+
+    def test_credit_isolation_between_groups(self, tenant_pair):
+        sharded, _ = tenant_pair
+        fabric = sharded.fabrics[0]
+        g0, g1 = (fabric.control_plane.groups[i] for i in (0, 1))
+        for register in fabric.program.credits:
+            c0 = g0.credit_window(register)
+            c1 = g1.credit_window(register)
+            assert len(c0) == len(c1) == 1
+            before = c1.cp_read(0)
+            c0.cp_write(0, 5)
+            assert c1.cp_read(0) == before
+            with pytest.raises(IndexError):
+                c0.cp_read(1)
+
+
+class TestResourceExhaustion:
+    def test_budget_raises_typed_error(self):
+        budget = ResourceBudget({"widgets": 2})
+        budget.acquire("widgets")
+        with pytest.raises(SwitchResourceError) as exc:
+            budget.acquire("widgets", 2)
+        err = exc.value
+        assert err.pool == "widgets"
+        assert err.requested == 2
+        assert err.used == 1
+        assert err.capacity == 2
+        assert "exhausted" in str(err)
+        # The failed acquire must not partially charge.
+        assert budget.used("widgets") == 1
+        budget.release("widgets")
+        assert budget.used("widgets") == 0
+
+    def test_exhausted_switch_rejects_and_degrades_to_direct(self):
+        config = ClusterConfig(num_replicas=2, protocol="p4ce", seed=23)
+        fabric = SwitchFabric(config)
+        first = Cluster(config, fabric=fabric)
+        first.await_ready()
+        budget = fabric.switch.resources
+        # Drain the replication engine's group-id pool: the next tenant's
+        # provisioning must fail *inside the switch*.
+        budget.acquire("multicast_group_ids",
+                       budget.remaining("multicast_group_ids"))
+        second = Cluster(config, fabric=fabric)
+        leader = second.await_ready()
+        # Let the leader attempt (and get rejected on) group setup.
+        second.run_for(5 * MS)
+        assert fabric.control_plane.provision_rejects >= 1
+        assert leader.comm_mode == "direct"
+        # Consensus survives on the direct plane.
+        done = []
+        leader.propose(b"y" * 64,
+                       lambda entry: done.append(entry.committed))
+        fabric.sim.run_until(lambda: done, timeout=50 * MS)
+        assert done and done[0]
+        # Tenant 0 is untouched by tenant 1's rejection.
+        assert first.leader is not None

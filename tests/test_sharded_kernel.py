@@ -1,0 +1,146 @@
+"""The sharded event kernel and the deterministic parallel runner.
+
+* merged (time, shard, seq) execution order over synthetic lanes;
+* epoch-barrier runs are event-identical however the window is sliced;
+* a sharded (lanes-mode) consensus run reproduces the standalone
+  per-shard packet-trace digests bit for bit;
+* the process-parallel runner reproduces the serial digests and the
+  epoch-reconciled switch counters (skipped on single-core runners --
+  the spawn pool would only serialize there; tools/bench_sim.py still
+  exercises the cross-process path on every runner).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.sim import ShardedKernel, SimulationError, Simulator
+from repro.workloads.experiments import (
+    group_scaling_specs,
+    reconcile_epoch_counters,
+    run_group_scaling_serial,
+    run_shard_point,
+)
+
+MS = 1_000_000
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+class TestMergedOrder:
+    def test_constructor_validates(self):
+        with pytest.raises(SimulationError):
+            ShardedKernel([])
+        with pytest.raises(SimulationError):
+            ShardedKernel([Simulator()], lookahead_ns=0)
+
+    def test_time_shard_seq_order(self):
+        lanes = [Simulator(), Simulator()]
+        log = []
+        lanes[0].schedule(10, log.append, (0, 10))
+        lanes[1].schedule(10, log.append, (1, 10))
+        lanes[1].schedule(5, log.append, (1, 5))
+        lanes[0].schedule(20, log.append, (0, 20))
+        kernel = ShardedKernel(lanes, lookahead_ns=1)
+        executed = kernel.run_merged(20)
+        assert executed == 4
+        # Earliest time first; on equal times the lower shard index wins.
+        assert log == [(1, 5), (0, 10), (1, 10), (0, 20)]
+        # All lane clocks advanced to the window boundary.
+        assert all(lane.now == 20 for lane in lanes)
+
+    def test_origins_rebase(self):
+        lanes = [Simulator(), Simulator()]
+        lanes[0].run(until=100)  # lane 0 bootstrapped further
+        kernel = ShardedKernel(lanes, lookahead_ns=1)
+        assert kernel.origins == [100, 0]
+        log = []
+        lanes[0].schedule(7, log.append, "a")  # fires at local 107
+        lanes[1].schedule(9, log.append, "b")  # fires at local 9
+        kernel.run_merged(10)
+        # Relative to origins, "a" (rel 7) precedes "b" (rel 9).
+        assert log == ["a", "b"]
+        kernel.rebase()
+        assert kernel.origins == [110, 10]
+
+
+class TestEpochBarriers:
+    @staticmethod
+    def _workload(lanes, log):
+        """A self-rescheduling workload on each lane (like a closed loop)."""
+        def tick(index, step):
+            log.append((index, lanes[index].now))
+            if lanes[index].now < 95:
+                lanes[index].schedule(step, tick, index, step)
+        for index, step in ((0, 7), (1, 11)):
+            lanes[index].schedule(step, tick, index, step)
+
+    def test_epoch_size_never_changes_behaviour(self):
+        # The epoch size changes where barriers fall (and hence how the
+        # lanes interleave globally) but must never change any *single
+        # lane's* event sequence -- that is the conservative-lookahead
+        # safety claim for disjoint shards.
+        runs = {}
+        for epoch_ns in (100, 25, 13, None):  # None -> the lookahead
+            lanes = [Simulator(), Simulator()]
+            log = []
+            self._workload(lanes, log)
+            kernel = ShardedKernel(lanes, lookahead_ns=5)
+            kernel.run_window(100, epoch_ns=epoch_ns)
+            per_lane = [[t for i, t in log if i == index]
+                        for index in range(2)]
+            runs[epoch_ns] = (per_lane, [lane.now for lane in lanes],
+                              [lane.events_executed for lane in lanes])
+        reference = runs[100]
+        for epoch_ns, run in runs.items():
+            assert run == reference, f"epoch_ns={epoch_ns} diverged"
+
+    def test_on_epoch_fires_per_barrier(self):
+        lanes = [Simulator()]
+        kernel = ShardedKernel(lanes, lookahead_ns=5)
+        seen = []
+        count = kernel.run_window(100, epoch_ns=30,
+                                  on_epoch=lambda k, t: seen.append((k, t)))
+        assert count == 4
+        assert seen == [(1, 30), (2, 60), (3, 90), (4, 100)]
+        assert kernel.epochs_run == 4
+        assert lanes[0].now == 100
+
+
+class TestShardedConsensusDeterminism:
+    def test_serial_lanes_reproduce_standalone_digests(self):
+        specs = group_scaling_specs(2, warmup_ns=0.05 * MS,
+                                    window_ns=0.2 * MS, epochs=4)
+        serial = run_group_scaling_serial(specs)
+        assert serial["epochs_run"] == 4
+        digests = [shard["trace_digest"] for shard in serial["shards"]]
+        assert len(set(digests)) == 2  # different seeds, different traffic
+        for spec in specs:
+            standalone = run_shard_point(spec)
+            shard = serial["shards"][standalone["shard"]]
+            assert standalone["trace_digest"] == shard["trace_digest"]
+            assert standalone["epoch_counters"] == shard["epoch_counters"]
+            assert standalone["commits"] == shard["commits"]
+            # The sharding target rides on fusion staying engaged per shard.
+            assert standalone["flight"]["flights_fused"] > 0
+
+    @pytest.mark.skipif(_cores() < 2,
+                        reason="process-parallel run needs multiple cores")
+    def test_parallel_workers_reproduce_serial_digests(self):
+        os.environ.setdefault("PYTHONHASHSEED", "0")
+        specs = group_scaling_specs(2, warmup_ns=0.05 * MS,
+                                    window_ns=0.2 * MS, epochs=4)
+        serial = run_group_scaling_serial(specs)
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=2) as pool:
+            parallel = pool.map(run_shard_point, specs)
+        assert ([shard["trace_digest"] for shard in serial["shards"]]
+                == [shard["trace_digest"] for shard in parallel])
+        assert (reconcile_epoch_counters(parallel)
+                == serial["reconciled_counters"])

@@ -37,10 +37,10 @@ from __future__ import annotations
 import argparse
 import cProfile
 import gc
-import hashlib
 import json
+import multiprocessing
+import os
 import pstats
-import struct
 import sys
 import time
 from pathlib import Path
@@ -48,10 +48,12 @@ from pathlib import Path
 _REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO / "src"))
 
-from repro import fastlane  # noqa: E402
+from repro import fastlane, params  # noqa: E402
 from repro.faults.injector import FaultSchedule  # noqa: E402
 from repro.workloads.experiments import (  # noqa: E402
-    ClosedLoopDriver, build_cluster)
+    ClosedLoopDriver, build_cluster, group_scaling_specs,
+    install_trace_digest, reconcile_epoch_counters, run_group_scaling_serial,
+    run_shard_point)
 
 MS = 1_000_000
 
@@ -82,31 +84,9 @@ _LANES = (("fast", True, True), ("fast_no_fusion", True, False),
           ("slow", False, False))
 
 
-def _install_trace_digest(cluster) -> "hashlib._Hash":
-    """Hash every frame accepted by every link (bytes + ICRC + time).
-
-    Every cable in the star topology has one end at a switch, so walking
-    switch ports finds them all.  The tap runs identically in both lanes,
-    so its (small) cost cancels out of the comparison.
-    """
-    digest = hashlib.sha256()
-    sim = cluster.sim
-    update = digest.update
-    pack_meta = struct.Struct("!dI").pack
-
-    def tap(src, packet):
-        update(packet.pack())
-        icrc = packet.meta.get("icrc")
-        update(pack_meta(sim._now, 0 if icrc is None else icrc))
-
-    switches = [cluster.switch]
-    if cluster.backup_switch is not None:
-        switches.append(cluster.backup_switch)
-    for switch in switches:
-        for port in switch.ports:
-            if port.link is not None:
-                port.link.tap = tap
-    return digest
+#: Group counts swept by the ``group_scaling`` workload.
+_GROUP_COUNTS = (1, 2, 4, 8)
+_GROUP_COUNTS_QUICK = (1, 2)
 
 
 def run_lane(spec: dict, lane_name: str, lane_on: bool, fusion_on: bool,
@@ -119,7 +99,7 @@ def run_lane(spec: dict, lane_name: str, lane_on: bool, fusion_on: bool,
         cluster = build_cluster(spec["protocol"], spec["replicas"],
                                 value_size=spec["value_size"],
                                 **spec.get("config", {}))
-        digest = _install_trace_digest(cluster)
+        digest = install_trace_digest(cluster)
         leader = cluster.await_ready()
         driver = ClosedLoopDriver(cluster, spec["value_size"],
                                   window=spec["window"])
@@ -279,16 +259,122 @@ def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
     }
 
 
+def run_group_scaling(groups, *, warmup_ns: float, window_ns: float,
+                      epochs: int) -> dict:
+    """The sharding proof: G groups serial (one sharded kernel) vs
+    process-parallel (spawn workers), with per-shard digest equality and
+    epoch-barrier counter reconciliation at every G.
+
+    ``aggregate_ops_per_sec`` sums the per-shard committed rates over the
+    same simulated window -- the "aggregate simulated commits/s" the
+    scaling target is measured on.
+    """
+    # Workers regenerate every random stream from (seed, label) alone
+    # (stable blake2b forks), but pin the hash seed anyway so dict/set
+    # iteration quirks can never creep into a worker-only code path.
+    os.environ.setdefault("PYTHONHASHSEED", "0")
+    ctx = multiprocessing.get_context("spawn")
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    out = {
+        "lookahead_ns": params.LINK_PROPAGATION_NS,
+        "epochs": epochs,
+        "groups": {},
+        "deterministic": True,
+        "determinism_failures": [],
+    }
+    failures = out["determinism_failures"]
+    for num_groups in groups:
+        specs = group_scaling_specs(num_groups, warmup_ns=warmup_ns,
+                                    window_ns=window_ns, epochs=epochs)
+        print(f"[group_scaling] G={num_groups}: serial lanes...")
+        serial = run_group_scaling_serial(specs)
+        workers = max(1, min(cores, num_groups))
+        print(f"[group_scaling] G={num_groups}: parallel "
+              f"({workers} worker(s), spawn)...")
+        t0 = time.perf_counter()
+        with ctx.Pool(processes=workers) as pool:
+            par_shards = pool.map(run_shard_point, specs)
+        parallel = {
+            "mode": "parallel",
+            "workers": workers,
+            "shards": par_shards,
+            "reconciled_counters": reconcile_epoch_counters(par_shards),
+            "wall_clock_s": time.perf_counter() - t0,
+        }
+        digest_match = [
+            s["trace_digest"] == p["trace_digest"]
+            for s, p in zip(serial["shards"], par_shards)]
+        for shard, match in enumerate(digest_match):
+            if not match:
+                failures.append(
+                    f"group_scaling G={num_groups} shard {shard}: serial and "
+                    f"parallel trace digests differ "
+                    f"({serial['shards'][shard]['trace_digest'][:16]} vs "
+                    f"{par_shards[shard]['trace_digest'][:16]})")
+        counters_match = (serial["reconciled_counters"]
+                          == parallel["reconciled_counters"])
+        if not counters_match:
+            failures.append(
+                f"group_scaling G={num_groups}: epoch-barrier counter "
+                f"reconciliation differs between serial and parallel")
+        fused = [s["flight"]["flights_fused"] for s in serial["shards"]]
+        if not all(fused):
+            failures.append(
+                f"group_scaling G={num_groups}: flight fusion never engaged "
+                f"on shard(s) {[i for i, f in enumerate(fused) if not f]}")
+        aggregate = sum(s["ops_per_sec"] for s in serial["shards"])
+        out["groups"][str(num_groups)] = {
+            "num_groups": num_groups,
+            "aggregate_ops_per_sec": aggregate,
+            "aggregate_commits": sum(s["commits"] for s in serial["shards"]),
+            "per_shard_ops_per_sec": [s["ops_per_sec"]
+                                      for s in serial["shards"]],
+            "per_shard_flights_fused": fused,
+            "digest_match": digest_match,
+            "counters_match": counters_match,
+            "serial": serial,
+            "parallel": parallel,
+        }
+        print(f"  aggregate = {aggregate / 1e6:.2f} M commits/s  "
+              f"digests {'OK' if all(digest_match) else 'MISMATCH'}  "
+              f"counters {'OK' if counters_match else 'MISMATCH'}  "
+              f"fused/shard = {fused}")
+    base = out["groups"].get("1")
+    if base is not None:
+        base_rate = base["aggregate_ops_per_sec"] or 1.0
+        for entry in out["groups"].values():
+            entry["scaling_vs_g1"] = entry["aggregate_ops_per_sec"] / base_rate
+        g4 = out["groups"].get("4")
+        if g4 is not None:
+            out["speedup_g4_vs_g1"] = g4["scaling_vs_g1"]
+            print(f"  G=4 aggregate = {out['speedup_g4_vs_g1']:.2f}x G=1 serial")
+    out["deterministic"] = not failures
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="short windows and one repeat (CI smoke)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per lane (default: 3, quick: 1)")
-    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_3.json",
+    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_4.json",
                         help="where to write the JSON report")
-    parser.add_argument("--workload", choices=sorted(WORKLOADS), default=None,
+    parser.add_argument("--workload",
+                        choices=sorted(WORKLOADS) + ["group_scaling"],
+                        default=None,
                         help="run a single workload instead of all")
+    parser.add_argument("--groups", default=None,
+                        help="comma-separated group counts for the "
+                             "group_scaling workload (default: 1,2,4,8; "
+                             "quick: 1,2)")
+    parser.add_argument("--check", action="store_true",
+                        help="also enforce the scaling acceptance gates "
+                             "(>=2x aggregate at G=4, G=1 digest parity "
+                             "with consensus_rate) as exit-failing")
     parser.add_argument("--profile", action="store_true",
                         help="wrap the measured window in cProfile and print "
                              "the top-20 cumulative hot spots per lane")
@@ -297,7 +383,17 @@ def main(argv=None) -> int:
     warmup_ns = 0.3 * MS if args.quick else 1 * MS
     window_ns = 1 * MS if args.quick else 4 * MS
     repeats = args.repeats or (1 if args.quick else 3)
-    names = [args.workload] if args.workload else sorted(WORKLOADS)
+    if args.workload == "group_scaling":
+        names = []
+    elif args.workload:
+        names = [args.workload]
+    else:
+        names = sorted(WORKLOADS)
+    run_groups = args.workload in (None, "group_scaling")
+    if args.groups:
+        groups = tuple(int(g) for g in args.groups.split(","))
+    else:
+        groups = _GROUP_COUNTS_QUICK if args.quick else _GROUP_COUNTS
 
     report = {
         "schema": 1,
@@ -340,6 +436,42 @@ def main(argv=None) -> int:
             ok = False
             for failure in result["determinism_failures"]:
                 print(f"  DETERMINISM FAILURE: {failure}")
+
+    if run_groups:
+        epochs = 8 if args.quick else 16
+        print(f"[group_scaling] G in {list(groups)} "
+              f"({window_ns / MS:g} ms window, {epochs} epoch barriers)...")
+        scaling = run_group_scaling(groups, warmup_ns=warmup_ns,
+                                    window_ns=window_ns, epochs=epochs)
+        report["group_scaling"] = scaling
+        if not scaling["deterministic"]:
+            ok = False
+            for failure in scaling["determinism_failures"]:
+                print(f"  DETERMINISM FAILURE: {failure}")
+        # G=1 parity with the unsharded harness: shard 0 runs the very
+        # same simulation as the consensus_rate fast lane (same config,
+        # seed, lifecycle), so the digests must be equal whenever both
+        # ran in this invocation.
+        base = scaling["groups"].get("1")
+        rate = report["workloads"].get("consensus_rate")
+        if base is not None and rate is not None:
+            g1_digest = base["serial"]["shards"][0]["trace_digest"]
+            parity = g1_digest == rate["fast"]["trace_digest"]
+            scaling["g1_matches_consensus_rate"] = parity
+            if parity:
+                print("  G=1 parity: OK (digest == consensus_rate fast lane)")
+            else:
+                ok = False
+                print("  DETERMINISM FAILURE: G=1 shard digest differs from "
+                      "the unsharded consensus_rate run")
+        if args.check:
+            speedup = scaling.get("speedup_g4_vs_g1")
+            if speedup is not None:
+                scaling["target_met"] = speedup >= 2.0
+                if not scaling["target_met"]:
+                    ok = False
+                    print(f"  CHECK FAILURE: G=4 aggregate is only "
+                          f"{speedup:.2f}x G=1 serial (target >= 2x)")
 
     if args.profile:
         # Profiled windows carry instrumentation overhead; never let them
