@@ -48,7 +48,7 @@ class PendingEntry:
 
     __slots__ = ("seq", "offset", "segments", "payload", "epoch", "callback",
                  "acks", "needed", "quorate", "committed", "submitted_at",
-                 "committed_at", "children")
+                 "committed_at", "children", "size")
 
     def __init__(self, seq: int, offset: int, segments: List["Segment"],
                  payload: bytes,
@@ -66,12 +66,12 @@ class PendingEntry:
         self.committed = False
         self.submitted_at = submitted_at
         self.committed_at = 0.0
+        #: Total encoded bytes across segments.  Computed once: segments
+        #: are fixed at construction, and the batching admission loop
+        #: reads this per queued entry on every doorbell.
+        self.size = sum(len(s.data) for s in segments)
         #: For a coalesced (batched) write: the values it carries.
         self.children: Optional[List["PendingEntry"]] = None
-
-    @property
-    def size(self) -> int:
-        return sum(len(s.data) for s in self.segments)
 
     @property
     def encoded(self) -> bytes:

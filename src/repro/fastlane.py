@@ -71,6 +71,21 @@ Nine lanes, mirroring the optimisations described in ``docs/PERF.md``:
     pending hops back into ordinary events and disable fusion until
     recovery.
 
+``window_superfusion``
+    Lane 11, layered on ``flight_fusion``: at saturation the hop queue
+    holds a pipelined *window* of interleaved clean flights, and the
+    planner drains it in batched **runs** -- consecutive due hops execute
+    back to back against one precomputed real-event barrier instead of
+    re-deriving the barrier per hop, splitting the run the moment a hop
+    schedules a kernel event, a fault/control-plane write defuses the
+    tail, or the barrier is reached (:meth:`FlightPlanner._drain_super`).
+    Fused flights also drop their phantom heap event (the kernel polls
+    the hop queue directly), and the switch registers the express stages
+    touch (NumRecv PSN slabs, per-replica credit windows) are backed by
+    numpy arrays when numpy is importable, with slab operations
+    vectorized and a pure-python scalar fallback otherwise
+    (:mod:`repro.switch.registers`).
+
 All lanes default to on.  ``REPRO_FASTLANE=off`` (or ``0``/``false``)
 disables all of them for a process; ``enable()`` / ``disable()`` flip them
 at runtime (takes effect for packets processed afterwards -- benchmarks
@@ -84,7 +99,7 @@ import os
 
 _LANES = ("cow_packets", "incremental_icrc", "flow_cache", "kernel_hotloop",
           "rewrite_templates", "object_pools", "delivery_batching",
-          "hot_reads", "flight_fusion")
+          "hot_reads", "flight_fusion", "window_superfusion")
 
 
 class _Flags:
@@ -116,3 +131,22 @@ def enable() -> None:
 def disable() -> None:
     """Turn every fast lane off (seed-equivalent slow path)."""
     flags.set_all(False)
+
+
+def stats() -> dict:
+    """Runtime lane report: flag states plus vectorized-backend status.
+
+    ``numpy_available`` says whether the array backend could be used at
+    all (numpy importable and not vetoed by ``REPRO_NO_NUMPY``);
+    ``vectorized`` says whether lane 11 would actually run registers on
+    it for clusters built right now.  Benchmarks embed this dict in their
+    results so a digest produced by the scalar fallback is
+    distinguishable from one produced by the array path.
+    """
+    from .switch import registers
+
+    return {
+        "lanes": flags.as_dict(),
+        "numpy_available": registers.NUMPY,
+        "vectorized": bool(registers.NUMPY and flags.window_superfusion),
+    }

@@ -79,7 +79,7 @@ from ..rdma.opcodes import AethCode, Opcode, make_syndrome, saturate_credits
 from ..rdma.qp import QpState, psn_add
 from ..rdma.wiretemplate import ack_frame, scatter_rewrite
 from .kernel import Event, Simulator
-from .trace import Tracer
+from .trace import TraceRecord, Tracer
 
 #: Half the 24-bit PSN space, for "not before" window comparisons.
 _PSN_HALF = 1 << 23
@@ -178,6 +178,10 @@ class FlightPlanner:
         #: Defusion generation: bumped whenever pending work materializes
         #: (mid-stage guard -- see _x_replica_rx).
         self._gen = 0
+        #: Lane 11 sampled at construction (benchmarks build a fresh
+        #: cluster per lane setting): batched drain + phantom-free
+        #: flights.  Requires flight_fusion to matter at all.
+        self._superfuse = bool(fastlane.flags.window_superfusion)
         # Diagnostics / attribution.
         self.flights_fused = 0
         self.hops_replayed = 0
@@ -185,12 +189,19 @@ class FlightPlanner:
         self.terminal_fires = 0
         self.fuse_rejects = 0
         self.express_fallbacks = 0
-        sim._flight_drain = self.drain
+        # Lane 11 batch telemetry.
+        self.runs_fused = 0
+        self.hops_batched = 0
+        self.max_run_len = 0
+        self.batch_splits = 0
+        sim._flight_drain = (self._drain_super if self._superfuse
+                             else self.drain)
         sim._flight_planner = self
 
     def stats(self) -> Dict[str, int]:
         """Per-shard fusion attribution (bench reports key these by
-        shard to prove lane 9 engages at every G)."""
+        shard to prove lanes 9 and 11 engage at every G)."""
+        runs = self.runs_fused
         return {
             "shard_index": self.shard_index,
             "flights_fused": self.flights_fused,
@@ -199,6 +210,10 @@ class FlightPlanner:
             "terminal_fires": self.terminal_fires,
             "fuse_rejects": self.fuse_rejects,
             "express_fallbacks": self.express_fallbacks,
+            "runs_fused": runs,
+            "mean_run_len": (self.hops_batched / runs) if runs else 0.0,
+            "max_run_len": self.max_run_len,
+            "batch_splits": self.batch_splits,
         }
 
     # ------------------------------------------------------------------
@@ -247,10 +262,16 @@ class FlightPlanner:
                                   self._x_leader_emit, path))
         flight.pending = 1
         flight.latest_vt = t
-        horizon = now + path.est_dur + _PHANTOM_SLACK
-        if horizon <= t:
-            horizon = t + _PHANTOM_SLACK
-        flight.phantom = sim.schedule_at(horizon, self._terminal, flight)
+        if not self._superfuse:
+            # Lane 9 alone needs a phantom kernel event so the run loop's
+            # heap never empties while hops pend.  Under lane 11 the
+            # kernel polls the hop queue directly (see Simulator.run), so
+            # the phantom -- a heap push, a tombstone on cancel and the
+            # compactions they trigger, per flight -- is dropped.
+            horizon = now + path.est_dur + _PHANTOM_SLACK
+            if horizon <= t:
+                horizon = t + _PHANTOM_SLACK
+            flight.phantom = sim.schedule_at(horizon, self._terminal, flight)
         self._flights.add(flight)
         self.flights_fused += 1
         return True
@@ -367,6 +388,93 @@ class FlightPlanner:
             return True
         return False
 
+    def _drain_super(self, limit: float) -> bool:
+        """Lane 11 drain: replay due hops in batched **runs**.
+
+        At saturation the hop queue holds a pipelined window of
+        interleaved clean flights -- tens of thousands of hops between
+        real kernel events.  The lane-9 drain re-derives the real-event
+        barrier (heap front peek, bucket deref, seq tie-break) per hop;
+        this drain derives it once per run and then executes consecutive
+        due hops back to back, which is exact because the barrier cannot
+        move while the heap is untouched.  The run splits -- falling back
+        to a fresh barrier derivation -- the moment a hop schedules or
+        cancels kernel work (``_heap_len`` moved, or the same-tick FIFO
+        gained an event: terminal commit cascades, express fallbacks,
+        mid-stage defusions) or the barrier time is reached.  Hops tied
+        with the barrier timestamp are left for the next outer iteration,
+        where the seq comparison resolves the tie in slow-lane order.
+        """
+        sim = self._sim
+        fq = self._fq
+        if not fq:
+            return False
+        soon = sim._soon
+        heap = sim._heap
+        pop = heapq.heappop
+        credits = 0
+        while fq:
+            entry = fq[0]
+            vt = entry[0]
+            if vt > limit or soon:
+                break
+            if heap:
+                top = heap[0]
+                barrier = top[0]
+                if barrier < vt:
+                    break
+                if barrier == vt:
+                    front = top[2]
+                    if type(front) is list:  # delivery_batching bucket
+                        front = front[front[0]]
+                    if front.seq < entry[1]:
+                        break
+                if limit < barrier:
+                    barrier = limit
+            else:
+                barrier = limit
+            # One run: every hop strictly before ``barrier`` outruns any
+            # real event while the heap stays put.
+            run = 0
+            hlen = sim._heap_len
+            while True:
+                pop(fq)
+                flight = entry[4]
+                flight.pending -= 1
+                sim._now = entry[0]
+                run += 1
+                xfn = entry[5]
+                if xfn is None:
+                    # Completion hop: the real leader-RX handler runs so
+                    # the CQE -> commit -> next-proposal cascade schedules
+                    # real events at exact absolute times.
+                    flight.done = True
+                    if flight.pending == 0:
+                        phantom = flight.phantom
+                        if phantom is not None:
+                            phantom.cancel()
+                            flight.phantom = None
+                        self._flights.discard(flight)
+                    entry[2](*entry[3])
+                else:
+                    xfn(entry[0], entry)
+                if not fq or soon or sim._heap_len != hlen:
+                    break
+                entry = fq[0]
+                if entry[0] >= barrier:
+                    break
+            credits += run
+            self.runs_fused += 1
+            self.hops_batched += run
+            if run > self.max_run_len:
+                self.max_run_len = run
+        if credits:
+            # Each hop is an event the slow lane executed.
+            sim._event_count += credits
+            self.hops_replayed += credits
+            return True
+        return False
+
     def _terminal(self, flight: FusedFlight) -> None:
         """The flight's phantom kernel event.  In steady state it is
         cancelled at completion; it fires only when the duration estimate
@@ -431,17 +539,37 @@ class FlightPlanner:
         fq = self._fq
         if fq:
             self.defusions += 1
+            if self._superfuse:
+                # The trigger (fault, heal, CP write, retransmit, NumRecv
+                # wrap, foreign-traffic fallback) landed while lane 11
+                # held a batched window: the batch splits here and the
+                # un-executed tail below re-materializes at exact
+                # timestamps.  A trigger landing *inside* a run also ends
+                # the run early (the heap/soon checks in _drain_super).
+                self.batch_splits += 1
+            ordered = sorted(fq)
             # Materialized pushes carry historical (non-monotone) seqs;
             # never let them join an open delivery-batching bucket.
             sim._last_bucket = None
             sim._last_time = -1.0
-            for entry in sorted(fq):
+            for entry in ordered:
                 sim._pending += 1
                 sim._push(entry[0], entry[1],
                           Event(entry[0], entry[1], entry[2], entry[3], sim))
             fq.clear()
             sim._last_bucket = None
             sim._last_time = -1.0
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                # Fusion never engages while tracing, but a tracer flipped
+                # on mid-run (diagnostics) still sees the split: one bulk
+                # emission for the whole re-materialized tail.
+                tracer.emit_many([
+                    TraceRecord(entry[0], "flight", "rematerialize",
+                                {"seq": entry[1],
+                                 "fn": getattr(entry[2], "__qualname__",
+                                               repr(entry[2]))})
+                    for entry in ordered])
         for flight in self._flights:
             phantom = flight.phantom
             if phantom is not None:
@@ -912,9 +1040,7 @@ class FlightPlanner:
         # reconcile would bump invalidation counters at a different
         # instant than the slow lane.  A couple of slow flights after any
         # control-plane write warm everything back up.
-        if fc._gen != l3.version + bcast.version + aggr.version:
-            return None
-        if ecache._gen != econn.version or tcache._gen != econn.version:
+        if fc._dirty or ecache._dirty or tcache._dirty:
             return None
         dir_down = link.direction_from(switch_port)
         if dir_down.dst.device is not nic:

@@ -370,12 +370,15 @@ class Simulator:
                 # must observe logs/registers/links exactly as the slow
                 # lane would have left them.  A False return means the
                 # front heap event wins the timestamp tie on seq: fall
-                # through and pop it normally.
+                # through and pop it normally.  With an empty heap and no
+                # limit (phantom-free lane 11 flights), the hop queue
+                # itself bounds the drain.
                 nxt = heap[0][0] if heap else None
                 if limit is not None and (nxt is None or limit < nxt):
                     nxt = limit
-                if nxt is not None and fq[0][0] <= nxt \
-                        and self._flight_drain(nxt):
+                if nxt is None:
+                    nxt = fq[0][0]
+                if fq[0][0] <= nxt and self._flight_drain(nxt):
                     continue
             if soon and (not heap or heap[0][0] > self._now):
                 event = soon.popleft()
@@ -483,23 +486,35 @@ class Simulator:
             # The hot loop is written long-hand (no shared pop function)
             # on purpose: at benchmark event rates every per-event frame
             # is a few percent of whole-run wall clock.
-            while soon or heap:
+            while soon or heap or fq:
                 if bounded and executed >= max_events:
                     return
-                if fq and not soon and heap:
-                    # Fused-flight hops (lane 9) due before the next heap
-                    # event (bounded by ``until``) replay first so every
-                    # later event observes slow-lane-identical state.  The
-                    # same-tick FIFO never blocks a due hop: queued soon
-                    # events sit at the current clock, pending hops
-                    # strictly after it.  A False return means the front
-                    # heap event wins the timestamp tie on seq: fall
-                    # through and pop it normally.
-                    limit = heap[0][0]
-                    if until is not None and until < limit:
+                if fq and not soon:
+                    # Fused-flight hops (lanes 9/11) due before the next
+                    # heap event (bounded by ``until``) replay first so
+                    # every later event observes slow-lane-identical
+                    # state.  The same-tick FIFO never blocks a due hop:
+                    # queued soon events sit at the current clock, pending
+                    # hops strictly after it.  A False return means the
+                    # front heap event wins the timestamp tie on seq: fall
+                    # through and pop it normally.  Phantom-free lane-11
+                    # flights can leave the heap empty while hops pend:
+                    # then ``until`` (or the hop queue itself) bounds the
+                    # drain.
+                    if heap:
+                        limit = heap[0][0]
+                        if until is not None and until < limit:
+                            limit = until
+                    elif until is not None:
                         limit = until
+                    else:
+                        limit = fq[0][0]
                     if fq[0][0] <= limit and fdrain(limit):
                         continue
+                    if not heap:
+                        # Every pending hop lies strictly beyond
+                        # ``until``; nothing else can run this call.
+                        break
                 if soon and (not heap or heap[0][0] > self._now):
                     event = soon.popleft()
                     if event.cancelled:
@@ -596,8 +611,9 @@ class Simulator:
                 return True
             event = self._pop_due(deadline)
             if event is None:
-                if self._soon or self._heap_len > self._tombstones:
-                    # Next event lies beyond the deadline.
+                if (self._soon or self._heap_len > self._tombstones
+                        or self._flight_queue):
+                    # Next event (or fused hop) lies beyond the deadline.
                     self._now = deadline
                     return predicate()
                 break
@@ -670,6 +686,22 @@ class ShardedKernel:
     def pending_events(self) -> int:
         return sum(lane.pending_events for lane in self.lanes)
 
+    def flight_stats(self) -> "List[Dict[str, Any]]":
+        """Per-lane flight-planner attribution in shard order.
+
+        Each lane owns one :class:`~repro.sim.flight.FlightPlanner`, and
+        :meth:`run_window` drains that lane's fused super-batches up to
+        every epoch barrier; this collects the per-group lane-9/11
+        telemetry (flights fused, batched runs, batch splits) so sharded
+        benchmarks can prove super-fusion engages on every group.
+        """
+        out = []
+        for lane in self.lanes:
+            planner = lane._flight_planner
+            if planner is not None:
+                out.append(planner.stats())
+        return out
+
     # -- merged (fine-grained) execution ------------------------------------
 
     def _next_lane(self) -> "tuple[Optional[float], Optional[int]]":
@@ -694,7 +726,12 @@ class ShardedKernel:
         _, index = self._next_lane()
         if index is None:
             return False
-        return self.lanes[index].step()
+        if self.lanes[index].step():
+            return True
+        # The lane's remaining activity was phantom-free fused hops that
+        # drained to nothing (lane 11): progress happened without popping
+        # an event, so report whether any lane still holds work.
+        return self._next_lane()[1] is not None
 
     def run_merged(self, window_ns: float) -> int:
         """Execute every event within ``window_ns`` of the origins, one

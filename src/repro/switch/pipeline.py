@@ -134,7 +134,13 @@ class Switch:
         #: Control-plane receive hook: fn(ingress_port_index, packet).
         self.cpu_handler: Optional[Callable[[int, Packet], None]] = None
         self.powered = True
-        self.counters: Dict[int, PortCounters] = {i: PortCounters() for i in range(num_ports)}
+        #: Per-port counter rows, indexed by port number.  A flat list:
+        #: the frame path indexes it on every hop, and the epoch-barrier
+        #: readers aggregate it as one slab (:meth:`counter_totals`) --
+        #: counters are never observed mid-flight, which is what lets
+        #: lane 11 batch whole windows of counter bumps between barriers.
+        self.counters: List[PortCounters] = [PortCounters()
+                                             for _ in range(num_ports)]
         self.drops = 0
         self.to_cpu_count = 0
         self._ingress_parser_busy: List[float] = [0.0] * num_ports
@@ -180,6 +186,23 @@ class Switch:
             if not port.connected:
                 return port
         raise RuntimeError(f"{self.name}: no free ports")
+
+    def counter_totals(self) -> List[int]:
+        """Device-wide counter slab: ``[rx_frames, tx_frames, rx_drops,
+        egress_runs, drops, to_cpu]`` summed over every port in one pass.
+
+        This is the epoch-barrier read the sharded runners reconcile
+        (and the only sanctioned way to observe counters while lane 11
+        may be holding a batched window): per-port rows are written on
+        the frame path, totals are derived only at barriers.
+        """
+        rx = tx = drops = egress = 0
+        for c in self.counters:
+            rx += c.rx_frames
+            tx += c.tx_frames
+            drops += c.rx_drops
+            egress += c.egress_runs
+        return [rx, tx, drops, egress, self.drops, self.to_cpu_count]
 
     def parser_availability(self, kind: str, index: int) -> float:
         """Current busy-until horizon of one per-port parser ("ingress"

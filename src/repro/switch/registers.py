@@ -13,11 +13,44 @@ begins each packet with :meth:`Register.begin_packet` via the pipeline,
 and a second access to the same register for the same packet raises
 ``RegisterAccessError`` -- turning an un-synthesizable P4 program into a
 failing test instead of silently wrong results.
+
+Array backend (lane 11)
+-----------------------
+A register array of width <= 32 bits can be backed by a numpy ``int64``
+vector instead of a Python list: cell values stay exact (every masked
+value and every intermediate of the P4CE RMW programs fits an int64), and
+slab operations -- window fills, batch reads -- become single vectorized
+assignments.  The backend is chosen per register at construction:
+``numpy`` when numpy is importable, the ``window_superfusion`` fast lane
+is on, and the width qualifies; the plain-list scalar backend otherwise.
+``REPRO_NO_NUMPY=1`` vetoes numpy process-wide so the pure-python
+fallback can be exercised (CI runs both and compares wire digests).
+Widths 33..64 always keep the list backend: their masks do not fit a
+signed int64.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, List, Optional, Tuple
+
+from .. import fastlane
+
+try:  # pragma: no cover - exercised via REPRO_NO_NUMPY in CI
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+if os.environ.get("REPRO_NO_NUMPY", "").strip().lower() in (
+        "1", "true", "on", "yes"):
+    _np = None
+
+#: Whether the vectorized array backend is available in this process.
+NUMPY = _np is not None
+
+#: Widest register that can ride the int64 array backend without its mask
+#: overflowing the signed element type.
+_NUMPY_MAX_WIDTH = 32
 
 
 class RegisterAccessError(RuntimeError):
@@ -31,16 +64,35 @@ class Register:
     #: writes (set lazily by path resolution).
     _flight_watch = None
 
-    def __init__(self, name: str, size: int, width: int = 32, initial: int = 0):
+    def __init__(self, name: str, size: int, width: int = 32, initial: int = 0,
+                 backend: str = "auto"):
         if size <= 0:
             raise ValueError("register size must be positive")
         if not 1 <= width <= 64:
             raise ValueError("register width must be 1..64 bits")
+        if backend not in ("auto", "list", "numpy"):
+            raise ValueError(f"unknown register backend {backend!r}")
         self.name = name
         self.size = size
         self.width = width
         self.mask = (1 << width) - 1
-        self._cells: List[int] = [initial & self.mask] * size
+        if backend == "auto":
+            backend = ("numpy" if NUMPY and width <= _NUMPY_MAX_WIDTH
+                       and fastlane.flags.window_superfusion else "list")
+        if backend == "numpy":
+            if _np is None:
+                raise RuntimeError(
+                    f"register {name!r}: numpy backend requested but numpy "
+                    "is unavailable (not installed, or REPRO_NO_NUMPY set)")
+            if width > _NUMPY_MAX_WIDTH:
+                raise ValueError(
+                    f"register {name!r}: width {width} exceeds the int64 "
+                    f"array backend limit of {_NUMPY_MAX_WIDTH} bits")
+            self._cells = _np.full(size, initial & self.mask, dtype=_np.int64)
+        else:
+            self._cells = [initial & self.mask] * size
+        #: Resolved storage backend: ``"numpy"`` or ``"list"``.
+        self.backend = backend
         self._current_packet: Optional[int] = None
         self._accessed_this_packet = False
         #: Control-plane write epoch: bumped by cp_write/cp_fill.  Cached
@@ -66,7 +118,7 @@ class Register:
     # -- control-plane access (unguarded, as through BfRt) ------------------------
 
     def cp_read(self, index: int) -> int:
-        return self._cells[index]
+        return int(self._cells[index])
 
     def cp_write(self, index: int, value: int) -> None:
         self._cells[index] = value & self.mask
@@ -77,8 +129,11 @@ class Register:
 
     def cp_fill(self, value: int) -> None:
         fill = value & self.mask
-        for i in range(self.size):
-            self._cells[i] = fill
+        if self.backend == "numpy":
+            self._cells[:] = fill
+        else:
+            for i in range(self.size):
+                self._cells[i] = fill
         self.cp_epoch += 1
         watch = self._flight_watch
         if watch is not None:
@@ -98,7 +153,8 @@ class Register:
         return self.size
 
     def __repr__(self) -> str:
-        return f"Register({self.name!r}, size={self.size}, width={self.width})"
+        return (f"Register({self.name!r}, size={self.size}, "
+                f"width={self.width}, backend={self.backend!r})")
 
 
 class RegisterWindow:
@@ -137,12 +193,35 @@ class RegisterWindow:
         self.register.cp_write(self._abs(index), value)
 
     def cp_fill(self, value: int) -> None:
-        for i in range(self.length):
-            self.register.cp_write(self.base + i, value)
+        """Fill the whole window as one slab operation.
+
+        On the array backend this is a single vectorized slice
+        assignment.  Either way the epoch advances by ``length`` --
+        exactly what the per-cell ``cp_write`` loop used to produce -- so
+        epoch arithmetic is backend-independent, and the flight watch is
+        notified once (defusion is idempotent; watchers only compare
+        epochs for equality).
+        """
+        register = self.register
+        fill = value & register.mask
+        base = self.base
+        if register.backend == "numpy":
+            register._cells[base:base + self.length] = fill
+        else:
+            cells = register._cells
+            for i in range(base, base + self.length):
+                cells[i] = fill
+        register.cp_epoch += self.length
+        watch = register._flight_watch
+        if watch is not None:
+            watch.on_cp_write(register)
 
     def cells(self) -> List[int]:
-        """Copy of the window's cells (tests/diagnostics)."""
-        return self.register._cells[self.base:self.base + self.length]
+        """Copy of the window's cells as plain ints (tests/diagnostics)."""
+        slab = self.register._cells[self.base:self.base + self.length]
+        if self.register.backend == "numpy":
+            return [int(v) for v in slab]
+        return slab
 
     def __len__(self) -> int:
         return self.length

@@ -9,8 +9,12 @@ plane (table capacity is finite, like TCAM/SRAM budgets on the ASIC).
 Every table carries a ``version`` counter bumped on each control-plane
 write (entry add/delete, default change, clear).  Programs use it through
 :class:`FlowVerdictCache` to memoize their match-action walk per flow:
-any table write changes the cache's generation and flushes it, so a
+any table write marks every cache built over the table dirty, so a
 cached verdict can never outlive the entries it was derived from.
+Invalidation is push-based -- writes set a dirty flag on the caches they
+affect -- so the per-packet freshness check is one attribute read
+instead of re-summing table versions on every lookup (control-plane
+writes are rare and slow; packet lookups are the hot path).
 """
 
 from __future__ import annotations
@@ -48,6 +52,10 @@ class ExactMatchTable:
     #: writes (set lazily by path resolution; class attr keeps unwatched
     #: tables at zero per-instance cost).
     _flight_watch = None
+    #: Verdict caches built over this table (class attr: zero cost until
+    #: a FlowVerdictCache registers itself); every control-plane write
+    #: marks them dirty.
+    _verdict_caches: Tuple["FlowVerdictCache", ...] = ()
 
     def __init__(self, name: str, key_fields: Tuple[str, ...], capacity: int = 4096):
         self.name = name
@@ -57,8 +65,14 @@ class ExactMatchTable:
         self.default = ActionEntry("NoAction")
         self.hits = 0
         self.misses = 0
-        #: Bumped on every control-plane write; read by FlowVerdictCache.
+        #: Bumped on every control-plane write; pins cached derivations
+        #: (flight-fusion path plans, multicast snapshots).
         self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
+        for cache in self._verdict_caches:
+            cache._dirty = True
 
     # -- data plane ---------------------------------------------------------------
 
@@ -82,13 +96,13 @@ class ExactMatchTable:
         if key not in self._entries and len(self._entries) >= self.capacity:
             raise TableFullError(f"table {self.name!r} is full ({self.capacity})")
         self._entries[key] = ActionEntry(action, **params)
-        self.version += 1
+        self._bump()
         watch = self._flight_watch
         if watch is not None:
             watch.on_cp_write(self)
 
     def del_entry(self, key: Tuple[int, ...]) -> bool:
-        self.version += 1
+        self._bump()
         watch = self._flight_watch
         if watch is not None:
             watch.on_cp_write(self)
@@ -96,14 +110,14 @@ class ExactMatchTable:
 
     def set_default(self, action: str, **params: Any) -> None:
         self.default = ActionEntry(action, **params)
-        self.version += 1
+        self._bump()
         watch = self._flight_watch
         if watch is not None:
             watch.on_cp_write(self)
 
     def clear(self) -> None:
         self._entries.clear()
-        self.version += 1
+        self._bump()
         watch = self._flight_watch
         if watch is not None:
             watch.on_cp_write(self)
@@ -129,6 +143,9 @@ class LpmTable:
 
     WIDTH = 32
 
+    #: Verdict caches built over this table (see ExactMatchTable).
+    _verdict_caches: Tuple["FlowVerdictCache", ...] = ()
+
     def __init__(self, name: str, capacity: int = 1024):
         self.name = name
         self.capacity = capacity
@@ -137,8 +154,13 @@ class LpmTable:
         self.default = ActionEntry("NoAction")
         self.hits = 0
         self.misses = 0
-        #: Bumped on every control-plane write; read by FlowVerdictCache.
+        #: Bumped on every control-plane write; pins cached derivations.
         self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
+        for cache in self._verdict_caches:
+            cache._dirty = True
 
     @staticmethod
     def _mask(prefix_len: int) -> int:
@@ -171,10 +193,10 @@ class LpmTable:
         if masked not in bucket:
             self._size += 1
         bucket[masked] = ActionEntry(action, **params)
-        self.version += 1
+        self._bump()
 
     def del_route(self, value: int, prefix_len: int) -> bool:
-        self.version += 1
+        self._bump()
         bucket = self._by_length.get(prefix_len, {})
         removed = bucket.pop(value & self._mask(prefix_len), None)
         if removed is not None:
@@ -184,7 +206,7 @@ class LpmTable:
 
     def set_default(self, action: str, **params: Any) -> None:
         self.default = ActionEntry(action, **params)
-        self.version += 1
+        self._bump()
 
     def __len__(self) -> int:
         return self._size
@@ -204,10 +226,12 @@ class FlowVerdictCache:
 
     Correctness rests on two rules:
 
-    * **Invalidation**: the cache captures the ``version`` of every table
-      consulted by the walk; :meth:`get` compares the current generation
-      first and flushes everything on any control-plane write, so a hit
-      can never reflect deleted or replaced entries.
+    * **Invalidation**: the cache registers itself with every table
+      consulted by the walk; any control-plane write on one of them sets
+      the cache's dirty flag, and :meth:`get` flushes everything on the
+      next lookup, so a hit can never reflect deleted or replaced
+      entries.  The per-packet freshness check is a single attribute
+      read -- writes pay the (rare, slow, control-plane) notification.
     * **Counter parity**: the per-table ``hits``/``misses`` counters are
       observable state (tests and diagnostics read them), so a cache fill
       records the counter deltas of the real walk and every subsequent
@@ -217,26 +241,20 @@ class FlowVerdictCache:
 
     def __init__(self, *tables: Any):
         self._tables = tables
-        # Version counters only ever increase, so their sum changes on any
-        # control-plane write: the per-packet generation check is a single
-        # int compare instead of building a tuple of versions.
-        self._gen: int = sum(t.version for t in tables)
+        #: Set by table/engine control-plane writes; consumed (and the
+        #: cache flushed) by the next get().
+        self._dirty = False
+        for t in tables:
+            t._verdict_caches = t._verdict_caches + (self,)
         self._cache: Dict[Any, Any] = {}
         self.hits = 0
         self.fills = 0
         self.invalidations = 0
 
     def get(self, key: Any) -> Optional[Any]:
-        """Cached value for ``key``, or None (after a generation check)."""
-        tables = self._tables
-        if len(tables) == 1:
-            gen = tables[0].version
-        else:
-            gen = 0
-            for t in tables:
-                gen += t.version
-        if gen != self._gen:
-            self._gen = gen
+        """Cached value for ``key``, or None (after the freshness check)."""
+        if self._dirty:
+            self._dirty = False
             if self._cache:
                 self._cache.clear()
                 self.invalidations += 1

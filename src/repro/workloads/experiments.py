@@ -526,12 +526,17 @@ def group_scaling_specs(num_groups: int, *, protocol: str = "p4ce",
                         replicas: int = 2, value_size: int = 64,
                         window: int = 16, base_seed: int = 7,
                         warmup_ns: float = 1 * MS, window_ns: float = 4 * MS,
-                        epochs: int = 16, fast_lane: bool = True) -> List[dict]:
+                        epochs: int = 16, fast_lane: bool = True,
+                        overrides: Optional[dict] = None,
+                        lane_flags: Optional[dict] = None) -> List[dict]:
     """Picklable per-shard specs for one group-scaling point.
 
     Shard 0 keeps ``base_seed`` (see :meth:`ShardedCluster.shard_seed`),
     so the G=1 spec describes exactly the unsharded closed-loop harness
-    run -- same config, same RNG streams, same digest.
+    run -- same config, same RNG streams, same digest.  ``overrides``
+    are extra :class:`ClusterConfig` fields (e.g. ``batching=True``)
+    applied identically on every shard, so a caller can mirror the
+    unsharded workload's exact config shape.
     """
     return [{
         "num_groups": num_groups,
@@ -545,20 +550,15 @@ def group_scaling_specs(num_groups: int, *, protocol: str = "p4ce",
         "window_ns": window_ns,
         "epochs": epochs,
         "fast_lane": fast_lane,
+        "lane_flags": dict(lane_flags) if lane_flags else {},
+        "overrides": dict(overrides) if overrides else {},
     } for shard in range(num_groups)]
 
 
 def _sample_switch_counters(cluster) -> List[int]:
     """Flat port-counter totals of the shard's switch (plus pipeline-level
     drop/punt counts) -- the state reconciled at epoch barriers."""
-    switch = cluster.switch
-    rx = tx = drops = egress = 0
-    for counters in switch.counters.values():
-        rx += counters.rx_frames
-        tx += counters.tx_frames
-        drops += counters.rx_drops
-        egress += counters.egress_runs
-    return [rx, tx, drops, egress, switch.drops, switch.to_cpu_count]
+    return cluster.switch.counter_totals()
 
 
 class _ShardRun:
@@ -569,7 +569,8 @@ class _ShardRun:
         config = ClusterConfig(num_replicas=spec["replicas"],
                                protocol=spec["protocol"],
                                seed=spec["seed"],
-                               value_size_hint=spec["value_size"])
+                               value_size_hint=spec["value_size"],
+                               **spec.get("overrides", {}))
         # Explicit fabric so the shard index labels the flight planner;
         # shard 0's construction is bit-identical to Cluster.build(config).
         fabric = SwitchFabric(config, shard_index=spec["shard"])
@@ -636,6 +637,19 @@ def _epoch_schedule(window_ns: float, epochs: int):
     return window_ns / max(1, epochs), params.LINK_PROPAGATION_NS
 
 
+def _apply_lane(spec: dict) -> None:
+    """Set the fast-lane flags a shard spec asks for.
+
+    ``fast_lane`` turns everything on or off; the optional ``lane_flags``
+    dict then pins individual lanes (e.g. ``{"window_superfusion":
+    False}`` for the lane-11 attribution run).  Specs stay picklable, so
+    the same lane selection crosses the spawn boundary unchanged.
+    """
+    fastlane.flags.set_all(bool(spec.get("fast_lane", True)))
+    for flag, value in (spec.get("lane_flags") or {}).items():
+        setattr(fastlane.flags, flag, bool(value))
+
+
 def run_shard_point(spec: dict) -> dict:
     """One shard, standalone -- also the spawn-pool worker entry point.
 
@@ -645,7 +659,7 @@ def run_shard_point(spec: dict) -> dict:
     run.  Returns plain ints/floats/strings (crosses the pickle
     boundary).
     """
-    fastlane.flags.set_all(bool(spec.get("fast_lane", True)))
+    _apply_lane(spec)
     try:
         run = _ShardRun(spec)
         run.bootstrap()
@@ -669,7 +683,7 @@ def run_group_scaling_serial(specs: List[dict]) -> Dict[str, object]:
     under epoch barriers, sampling each shard's switch-counter deltas at
     every barrier.
     """
-    fastlane.flags.set_all(bool(specs[0].get("fast_lane", True)))
+    _apply_lane(specs[0])
     try:
         t0 = time.perf_counter()
         runs = [_ShardRun(spec) for spec in specs]

@@ -47,10 +47,17 @@ def _tap_digest(cluster):
 
 
 def _run(fusion_on, fault_fn=None, run_ns=0.6 * MS, replicas=2,
-         value_size=64):
-    """One seeded closed-loop run; returns every observable we compare."""
+         value_size=64, superfusion_on=None):
+    """One seeded closed-loop run; returns every observable we compare.
+
+    ``superfusion_on`` defaults to following ``fusion_on`` (lane 11 rides
+    on lane 9); pass False to pin the hop-by-hop drain for lane-11
+    attribution runs.
+    """
     fastlane.flags.set_all(True)
     fastlane.flags.flight_fusion = fusion_on
+    fastlane.flags.window_superfusion = (
+        fusion_on if superfusion_on is None else (fusion_on and superfusion_on))
     try:
         cluster = build_cluster("p4ce", replicas, value_size=value_size,
                                 seed=7)
@@ -71,6 +78,9 @@ def _run(fusion_on, fault_fn=None, run_ns=0.6 * MS, replicas=2,
             "events": cluster.sim.events_executed,
             "flights_fused": planner.flights_fused,
             "defusions": planner.defusions,
+            "runs_fused": planner.runs_fused,
+            "hops_batched": planner.hops_batched,
+            "batch_splits": planner.batch_splits,
             "fused_at_heal": probe.get("fused_at_heal"),
             "retransmissions": (leader.switch_rep.qp.retransmissions
                                 if leader.switch_rep is not None
@@ -145,6 +155,57 @@ def test_replica_crash_defuses_and_matches_unfused_digest():
     assert fused["defusions"] >= 1
     assert fused["flights_fused"] > 0
     _assert_identical(fused, plain)
+
+
+def test_superfusion_batches_clean_window():
+    """Lane 11 collapses a clean run into multi-hop batches -- and the
+    batched drain's digest matches both the hop-by-hop lane-9 drain and
+    the unfused reference."""
+    batched = _run(fusion_on=True)
+    hop_by_hop = _run(fusion_on=True, superfusion_on=False)
+    plain = _run(fusion_on=False)
+    assert batched["runs_fused"] > 0
+    # Batches actually batch: strictly more hops than runs.
+    assert batched["hops_batched"] > batched["runs_fused"]
+    # The hop-by-hop drain never counts runs.
+    assert hop_by_hop["runs_fused"] == 0
+    _assert_identical(batched, hop_by_hop)
+    _assert_identical(batched, plain)
+
+
+def test_mid_window_fault_splits_batch_and_replays_tail():
+    """A fault landing inside a fused window must split the batch at the
+    boundary and re-materialize the un-executed tail as real events at
+    their exact timestamps.
+
+    The digest covers every frame's wire bytes *and* timestamp, so
+    equality with the unfused lane proves the replayed tail ran at the
+    same instants the slow path would have chosen; ``batch_splits``
+    proves the split machinery (not a lucky empty queue) handled it.
+    """
+    batched = _run(fusion_on=True, fault_fn=_leader_link_fault, run_ns=1 * MS)
+    hop_by_hop = _run(fusion_on=True, superfusion_on=False,
+                      fault_fn=_leader_link_fault, run_ns=1 * MS)
+    plain = _run(fusion_on=False, fault_fn=_leader_link_fault, run_ns=1 * MS)
+    assert batched["runs_fused"] > 0
+    assert batched["batch_splits"] >= 1
+    # Fusion (and with it, batching) re-engaged after the heal.
+    assert batched["fused_at_heal"] is not None
+    assert batched["flights_fused"] > batched["fused_at_heal"]
+    _assert_identical(batched, hop_by_hop)
+    _assert_identical(batched, plain)
+
+
+def test_numrecv_wrap_inside_super_batches():
+    """PSN slot reuse under the batched drain: >256 fused flights wrap
+    the NumRecv register file while lane 11 is batching runs, with no
+    splits and no divergence from the unfused lane."""
+    batched = _run(fusion_on=True, run_ns=0.5 * MS)
+    plain = _run(fusion_on=False, run_ns=0.5 * MS)
+    assert batched["flights_fused"] > _NUMRECV_SLOTS
+    assert batched["runs_fused"] > 0
+    assert batched["batch_splits"] == 0
+    _assert_identical(batched, plain)
 
 
 def test_numrecv_slot_wrap_keeps_fusing():
