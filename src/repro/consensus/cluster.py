@@ -318,7 +318,7 @@ class ShardedCluster:
 
     def __init__(self, num_groups: int,
                  config: Optional[ClusterConfig] = None,
-                 mode: str = "lanes", **overrides):
+                 mode: str = "lanes", key_map=None, **overrides):
         if num_groups < 1:
             raise ValueError("need at least one group")
         if mode not in ("lanes", "tenant"):
@@ -330,6 +330,12 @@ class ShardedCluster:
         self.num_groups = num_groups
         self.config = config
         self.mode = mode
+        #: Optional range-based routing (serving tier): a
+        #: :class:`~repro.consensus.ranges.RangeKeyMap` owning the
+        #: integer keyspace.  When set, integer keys route by range
+        #: ownership (and may be re-routed live by hot-range migration);
+        #: string/bytes keys keep the stable crc32 hash partition.
+        self.key_map = key_map
         self.shards: List[Cluster] = []
         self.fabrics: List[SwitchFabric] = []
         if mode == "tenant":
@@ -365,9 +371,12 @@ class ShardedCluster:
     # -- keyspace routing ---------------------------------------------------
 
     def shard_of(self, key) -> int:
-        """Deterministic hash partition: crc32 (stable across processes,
-        unlike ``hash()``) of the key's bytes, modulo G."""
+        """Routing: range ownership for integer keys when a
+        :attr:`key_map` is installed, else a deterministic crc32 hash
+        partition (stable across processes, unlike ``hash()``)."""
         if isinstance(key, int):
+            if self.key_map is not None:
+                return self.key_map.owner_of(key)
             key = key.to_bytes(8, "big", signed=True)
         elif isinstance(key, str):
             key = key.encode()

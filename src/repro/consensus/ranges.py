@@ -1,0 +1,330 @@
+"""Range-partitioned keyspace: load accounting and hot-range planning.
+
+``ShardedCluster`` historically routes ``crc32(key) % G`` -- perfect for
+uniform traffic, catastrophic under Zipfian skew, where the head keys
+all hash *somewhere* and that group saturates while the rest idle.  The
+serving tier instead partitions the integer keyspace into contiguous
+**ranges**, each owned by one group, and rebalances ownership at run
+time:
+
+* :class:`RangeKeyMap` -- the routing table: sorted, non-overlapping
+  ranges covering ``[0, keyspace)``; ``owner_of(key)`` is a bisect.
+* :class:`HotRangePlanner` -- consumes per-range arrival counts at every
+  epoch barrier, **splits** ranges that are hot relative to a balanced
+  group's share (splits are metadata-only: both children stay with the
+  owner, no switch programming changes), and proposes **moves** of
+  ranges from overloaded to underloaded groups.  Moves are *not* free:
+  the migration engine charges each one the paper's full 40 ms
+  control-plane reconfiguration window (Table IV) by re-provisioning
+  the destination group through the real CM exchange.
+
+Admission control: every live range costs one ``range_steering_entries``
+slot in a :class:`~repro.switch.resources.ResourceBudget` (the steering
+table is switch state too).  When the pool is exhausted the planner
+stops splitting -- typed, counted, non-fatal -- exactly like the group
+pools in PR 4.
+
+Everything here is pure deterministic arithmetic over op counts, so the
+fast and slow simulator lanes, fed identical arrival streams, make
+identical split/move decisions at identical barriers; wire digests stay
+bit-identical across a live migration.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..switch.resources import (STEERING_POOL, ResourceBudget,
+                                SwitchResourceError)
+
+
+@dataclass
+class KeyRange:
+    """One contiguous slice ``[lo, hi)`` of the keyspace."""
+
+    lo: int
+    hi: int
+    owner: int
+    #: EWMA of per-epoch arrival counts (planner-maintained).
+    load: float = 0.0
+    #: True while a migration of this range is in flight (ops fenced).
+    migrating: bool = False
+
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+
+class RangeKeyMap:
+    """Sorted contiguous ranges over ``[0, keyspace)`` with owners."""
+
+    def __init__(self, keyspace: int, ranges: Sequence[KeyRange]):
+        if keyspace <= 0:
+            raise ValueError("need a positive keyspace")
+        self.keyspace = keyspace
+        self.ranges: List[KeyRange] = list(ranges)
+        self._check()
+        self._los = [r.lo for r in self.ranges]
+        #: Bumped on every split/reassign (routing caches key off it).
+        self.version = 0
+
+    @classmethod
+    def uniform(cls, keyspace: int, groups: int) -> "RangeKeyMap":
+        """``groups`` equal slices, range ``g`` owned by group ``g``."""
+        if groups <= 0 or groups > keyspace:
+            raise ValueError("need 1 <= groups <= keyspace")
+        bounds = [keyspace * g // groups for g in range(groups + 1)]
+        return cls(keyspace, [KeyRange(bounds[g], bounds[g + 1], g)
+                              for g in range(groups)])
+
+    def _check(self) -> None:
+        if not self.ranges:
+            raise ValueError("need at least one range")
+        if self.ranges[0].lo != 0 or self.ranges[-1].hi != self.keyspace:
+            raise ValueError("ranges must cover [0, keyspace)")
+        for left, right in zip(self.ranges, self.ranges[1:]):
+            if left.hi != right.lo:
+                raise ValueError("ranges must be contiguous and sorted")
+
+    # -- routing ------------------------------------------------------------
+
+    def index_of(self, key: int) -> int:
+        if not 0 <= key < self.keyspace:
+            raise ValueError(f"key {key} outside [0, {self.keyspace})")
+        return bisect_right(self._los, key) - 1
+
+    def owner_of(self, key: int) -> int:
+        return self.ranges[self.index_of(key)].owner
+
+    def boundaries(self) -> List[int]:
+        """Range low bounds, for vectorized searchsorted routing."""
+        return self._los
+
+    # -- mutation -----------------------------------------------------------
+
+    def split(self, index: int, at: int) -> None:
+        """Split range ``index`` at key ``at``; both children keep the
+        owner (metadata-only -- no steering reprogram needed)."""
+        parent = self.ranges[index]
+        if not parent.lo < at < parent.hi:
+            raise ValueError(f"split point {at} outside ({parent.lo}, "
+                             f"{parent.hi})")
+        if parent.migrating:
+            raise ValueError("cannot split a migrating range")
+        # The parent's load estimate is divided by key-span; the next
+        # epoch's real counts correct any intra-range skew.
+        frac = (at - parent.lo) / parent.span
+        child = KeyRange(at, parent.hi, parent.owner,
+                         load=parent.load * (1.0 - frac))
+        parent.load *= frac
+        parent.hi = at
+        self.ranges.insert(index + 1, child)
+        self._los.insert(index + 1, at)
+        self.version += 1
+
+    def reassign(self, index: int, owner: int) -> None:
+        self.ranges[index].owner = owner
+        self.version += 1
+
+    # -- accounting ---------------------------------------------------------
+
+    def group_loads(self, num_groups: int) -> List[float]:
+        loads = [0.0] * num_groups
+        for r in self.ranges:
+            loads[r.owner] += r.load
+        return loads
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def __repr__(self) -> str:
+        return (f"RangeKeyMap(keyspace={self.keyspace}, "
+                f"ranges={len(self.ranges)}, v{self.version})")
+
+
+@dataclass
+class RangeMove:
+    """A planner-proposed migration of one range to a new owner."""
+
+    lo: int          # stable identity: the range's low bound
+    src: int
+    dst: int
+    load: float      # EWMA load at proposal time (reporting)
+
+
+class HotRangePlanner:
+    """Split hot ranges, propose moves, respect the steering budget.
+
+    Runs at epoch barriers on arrival counts (lane-invariant inputs):
+
+    1. **decay + observe** -- fold this epoch's per-range counts into
+       EWMA loads;
+    2. **split** -- any non-migrating range whose load exceeds
+       ``split_factor`` x the balanced per-group share splits at its key
+       midpoint, recursively (estimates halve with the span), until the
+       span floor or the steering budget stops it;
+    3. **move** -- while the hottest group exceeds the coldest by more
+       than ``imbalance_factor`` x the balanced share, propose moving
+       the best-fitting range (largest load that still fits the
+       receiver's deficit) to the coldest group.
+
+    The planner never performs moves itself -- the migration engine owns
+    the fences and the 40 ms control-plane charge -- it only marks the
+    range ``migrating`` so routing keeps it fenced and later planning
+    passes leave it alone.
+    """
+
+    def __init__(self, key_map: RangeKeyMap, num_groups: int,
+                 budget: Optional[ResourceBudget] = None,
+                 split_factor: float = 0.5,
+                 imbalance_factor: float = 0.25,
+                 min_span: int = 1,
+                 max_moves_per_epoch: int = 4,
+                 decay: float = 0.5,
+                 cooldown_epochs: int = 40,
+                 min_history: int = 4):
+        self.map = key_map
+        self.num_groups = num_groups
+        self.budget = budget
+        if budget is not None:
+            # The initial ranges occupy steering entries too.
+            budget.acquire(STEERING_POOL, len(key_map))
+        self.split_factor = split_factor
+        self.imbalance_factor = imbalance_factor
+        self.min_span = min_span
+        self.max_moves_per_epoch = max_moves_per_epoch
+        self.decay = decay
+        #: Planning passes a range must sit out after completing a move.
+        #: Every move fences its range for the full 40 ms window, so
+        #: re-moving a hot range as soon as its new owner warms up
+        #: ping-pongs the hottest traffic through back-to-back blackouts.
+        self.cooldown_epochs = cooldown_epochs
+        #: Planning passes before the first move may be proposed: a
+        #: single epoch's Poisson noise can exceed the imbalance margin,
+        #: and a 40 ms blackout is far too expensive an answer to noise.
+        self.min_history = min_history
+        self.splits = 0
+        self.moves_proposed = 0
+        self.steering_rejects = 0
+        #: Proposed-but-not-flipped moves, keyed by range low bound.
+        self._pending: dict = {}
+        self._cooled: dict = {}
+        self._tick = 0
+
+    # -- accounting ---------------------------------------------------------
+
+    def observe(self, counts: Sequence[int]) -> None:
+        """Fold one epoch of per-range arrival counts into the EWMA.
+
+        ``counts`` is indexed by current range index (callers bin
+        against ``map.boundaries()`` *after* any routing changes of the
+        epoch, so indices agree).
+        """
+        ranges = self.map.ranges
+        decay = self.decay
+        for i, r in enumerate(ranges):
+            c = counts[i] if i < len(counts) else 0
+            r.load = decay * r.load + c
+
+    # -- planning -----------------------------------------------------------
+
+    def _split_pass(self) -> None:
+        share = sum(r.load for r in self.map.ranges) / self.num_groups
+        if share <= 0:
+            return
+        threshold = self.split_factor * share
+        index = 0
+        while index < len(self.map.ranges):
+            r = self.map.ranges[index]
+            if (r.load > threshold and r.span >= 2 * self.min_span
+                    and not r.migrating):
+                if self.budget is not None:
+                    try:
+                        self.budget.acquire(STEERING_POOL, 1)
+                    except SwitchResourceError:
+                        self.steering_rejects += 1
+                        return  # pool exhausted: stop splitting, serve on
+                self.map.split(index, r.lo + r.span // 2)
+                self.splits += 1
+                continue  # re-examine the (now smaller) left child
+            index += 1
+
+    def _move_pass(self) -> List[RangeMove]:
+        loads = self.map.group_loads(self.num_groups)
+        # In-flight moves still route (and account) at the source until
+        # the flip; plan as if they had landed, or the same imbalance is
+        # re-solved every barrier with new moves.
+        for pending in self._pending.values():
+            r = self.map.ranges[self.map.index_of(pending.lo)]
+            loads[pending.src] -= r.load
+            loads[pending.dst] += r.load
+        share = sum(loads) / self.num_groups
+        if share <= 0:
+            return []
+        moves: List[RangeMove] = []
+        margin = self.imbalance_factor * share
+        #: One reconfiguration per destination group at a time (the
+        #: engine would have to abort the second anyway).
+        busy = {m.dst for m in self._pending.values()}
+        while len(moves) < self.max_moves_per_epoch:
+            hot = max(range(self.num_groups), key=lambda g: loads[g])
+            free = [g for g in range(self.num_groups) if g not in busy]
+            if not free:
+                break
+            cold = min(free, key=lambda g: loads[g])
+            if loads[hot] - loads[cold] <= margin:
+                break
+            deficit = share - loads[cold]
+            # Largest movable range that still fits the receiver's
+            # deficit; fall back to the donor's coldest range so a single
+            # oversized range cannot wedge the pass.
+            candidates = [r for r in self.map.ranges
+                          if r.owner == hot and not r.migrating
+                          and self._cooled.get(r.lo, 0) <= self._tick
+                          and len(self.map) > 1]
+            if not candidates:
+                break
+            fitting = [r for r in candidates if r.load <= deficit]
+            pick = (max(fitting, key=lambda r: (r.load, -r.lo)) if fitting
+                    else min(candidates, key=lambda r: (r.load, r.lo)))
+            if pick.load <= 0 and not fitting:
+                break
+            pick.migrating = True
+            move = RangeMove(pick.lo, hot, cold, pick.load)
+            self._pending[pick.lo] = move
+            busy.add(cold)
+            moves.append(move)
+            loads[hot] -= pick.load
+            loads[cold] += pick.load
+        self.moves_proposed += len(moves)
+        return moves
+
+    def plan(self) -> List[RangeMove]:
+        """One barrier's planning pass: split, then propose moves."""
+        self._tick += 1
+        self._split_pass()
+        if self._tick < self.min_history:
+            return []
+        return self._move_pass()
+
+    # -- migration-engine callbacks ----------------------------------------
+
+    def complete_move(self, lo: int, dst: int) -> int:
+        """Flip ownership of the range with low bound ``lo``; returns its
+        current index.  Called by the engine when the 40 ms window ends."""
+        index = self.map.index_of(lo)
+        r = self.map.ranges[index]
+        assert r.lo == lo and r.migrating
+        self.map.reassign(index, dst)
+        r.migrating = False
+        self._pending.pop(lo, None)
+        self._cooled[lo] = self._tick + self.cooldown_epochs
+        return index
+
+    def abort_move(self, lo: int) -> None:
+        """Unfence without reassigning (engine gave up on the move)."""
+        r = self.map.ranges[self.map.index_of(lo)]
+        r.migrating = False
+        self._pending.pop(lo, None)

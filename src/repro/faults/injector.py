@@ -46,6 +46,10 @@ class FaultInjector:
     def __init__(self, cluster: "Cluster"):
         self.cluster = cluster
         self.journal: List[FaultRecord] = []
+        #: Armed migration-window faults: {nth-migration: [(offset_ns,
+        #: action, args, kwargs), ...]} (see :meth:`at_migration`).
+        self._migration_arms: dict = {}
+        self.migrations_seen = 0
 
     def _record(self, kind: str, target: Any = None) -> None:
         self.journal.append(FaultRecord(self.cluster.sim.now, kind, target))
@@ -137,6 +141,51 @@ class FaultInjector:
                 link.set_up()
                 link.drop_probability = 0.0
                 self._planner_heal(link)
+
+    # -- migration-window fault point ----------------------------------------------
+
+    def at_migration(self, nth: int = 1, offset_ns: float = 0.0) -> "_ScheduledAt":
+        """Arm the next fault ``offset_ns`` into the ``nth`` migration.
+
+        The serving tier's hot-range moves each open a 40 ms
+        control-plane reconfiguration window; this hook lets a fault
+        script target the *inside* of that window without knowing its
+        absolute time in advance::
+
+            injector.at_migration(nth=1, offset_ns=5e6).partition_host(0)
+
+        The migration engine reports each move start via
+        :meth:`migration_started`; armed actions for that ordinal are
+        scheduled ``offset_ns`` later on this injector's cluster clock.
+        """
+        return _MigrationArm(self, nth, offset_ns)
+
+    def migration_started(self, move: Any = None) -> None:
+        """Notification from a migration engine: a move's window opened."""
+        self.migrations_seen += 1
+        self._record("migration_window", move)
+        for offset_ns, action, args, kwargs in \
+                self._migration_arms.pop(self.migrations_seen, ()):
+            self.cluster.sim.schedule(offset_ns, action, *args, **kwargs)
+
+
+class _MigrationArm:
+    """Fluent helper binding a migration ordinal + offset to a fault."""
+
+    def __init__(self, injector: FaultInjector, nth: int, offset_ns: float):
+        self._injector = injector
+        self._nth = nth
+        self._offset_ns = offset_ns
+
+    def __getattr__(self, name: str) -> Callable:
+        action = getattr(self._injector, name)
+
+        def deferred(*args, **kwargs):
+            self._injector._migration_arms.setdefault(self._nth, []).append(
+                (self._offset_ns, action, args, kwargs))
+            return self._injector
+
+        return deferred
 
 
 class _ScheduledAt:

@@ -126,11 +126,20 @@ class P4ceControlPlane:
         self.groups_configured = 0
         #: Leader requests refused because a Tofino budget was exhausted
         #: (the request gets a CM REJECT instead of crashing the switch).
+        #: ``reject_pools`` attributes each refusal to the pool that ran
+        #: dry -- with hot-range migrations re-provisioning groups at
+        #: runtime, "which budget rejected the move" is the first
+        #: question a degraded-to-direct-plane tenant asks.
         self.provision_rejects = 0
+        self.reject_pools: Dict[str, int] = {}
         #: Shared Tofino provisioning budget (set by ``load_program``);
         #: None for programs that do not declare one.
         self.resources = switch.resources
         switch.cpu_handler = self.handle_cpu_packet
+
+    def _count_reject(self, pool: str) -> None:
+        self.provision_rejects += 1
+        self.reject_pools[pool] = self.reject_pools.get(pool, 0) + 1
 
     # ------------------------------------------------------------------
     # CPU-port packet handling
@@ -192,7 +201,7 @@ class P4ceControlPlane:
         # or the leader gets a typed CM REJECT -- a request for a 65th
         # group must never crash the switch CPU or alias another tenant.
         if len(request.replica_ips) > CommunicationGroup.MAX_REPLICAS:
-            self.provision_rejects += 1
+            self._count_reject("replica_slots")
             self._send_cm(leader_ip, CmMessage(MSG_CONNECT_REJECT,
                                                remote_cm_id=message.local_cm_id,
                                                reject_reason=2))
@@ -200,8 +209,8 @@ class P4ceControlPlane:
         try:
             self._require_endpoint_ids(1 + len(request.replica_ips))
             group = self._allocate_group(leader_ip, request.epoch)
-        except SwitchResourceError:
-            self.provision_rejects += 1
+        except SwitchResourceError as exc:
+            self._count_reject(exc.pool)
             self._send_cm(leader_ip, CmMessage(MSG_CONNECT_REJECT,
                                                remote_cm_id=message.local_cm_id,
                                                reject_reason=2))
@@ -328,8 +337,8 @@ class P4ceControlPlane:
         # entries behind a rejected group.
         try:
             self._charge_entries(len(pending.replicas))
-        except SwitchResourceError:
-            self.provision_rejects += 1
+        except SwitchResourceError as exc:
+            self._count_reject(exc.pool)
             self._abort_group(pending, reason=2)
             return
         # Replication engine: one copy per replica, rid = endpoint id.

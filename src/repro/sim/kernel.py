@@ -678,6 +678,33 @@ class ShardedKernel:
         return min(lane.now - origin
                    for lane, origin in zip(self.lanes, self.origins))
 
+    def elapsed_of(self, lane_index: int) -> float:
+        """Lane ``lane_index``'s local clock on the global elapsed axis.
+
+        Lanes bootstrap independently, so their local clocks differ by
+        per-lane origins; cross-lane drivers (the serving fleet stamps
+        arrivals on the global axis and measures commit latency against
+        them) convert through this instead of touching ``origins``.
+        """
+        return self.lanes[lane_index].now - self.origins[lane_index]
+
+    def schedule_at_elapsed(self, lane_index: int, elapsed_ns: float,
+                            fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn`` on lane ``lane_index`` at global elapsed time
+        ``elapsed_ns`` (clamped to the lane's current clock, so barrier
+        callbacks may schedule work "now" without underflowing time).
+
+        This is the sanctioned way for epoch-barrier drivers to inject
+        future work into lanes: the target instant is identical however
+        the window is sliced into epochs, so event order -- and with it
+        the per-shard wire digest -- does not depend on epoch size.
+        """
+        lane = self.lanes[lane_index]
+        target = self.origins[lane_index] + elapsed_ns
+        if target < lane.now:
+            target = lane.now
+        lane.schedule_at(target, fn, *args)
+
     @property
     def events_executed(self) -> int:
         return sum(lane.events_executed for lane in self.lanes)

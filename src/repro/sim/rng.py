@@ -41,6 +41,10 @@ class SeededRng:
         """Uniform 32-bit unsigned integer (used for R_keys)."""
         return self._rng.getrandbits(32)
 
+    def u64(self) -> int:
+        """Uniform 64-bit unsigned integer (counter-stream seeds)."""
+        return self._rng.getrandbits(64)
+
     def u24(self) -> int:
         """Uniform 24-bit unsigned integer (used for QPNs and PSNs)."""
         return self._rng.getrandbits(24)

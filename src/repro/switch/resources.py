@@ -28,6 +28,32 @@ from typing import Dict, List, Optional, Tuple
 #: Match-action stages per gress on a Tofino-1 profile.
 TOFINO1_STAGES = 12
 
+#: Budget pool for live key-range steering entries (serving tier): every
+#: range in a :class:`~repro.consensus.ranges.RangeKeyMap` occupies one
+#: range-match entry in the front-door steering table, so splits are
+#: admission-controlled exactly like group provisioning.
+STEERING_POOL = "range_steering_entries"
+
+#: Default steering-table capacity.  Range matches burn TCAM, the
+#: scarcest match resource on Tofino-1; ~128 entries is a conservative
+#: slice of one stage's TCAM after the exact-match tables are placed,
+#: and comfortably covers resolving a Zipf head down to single keys
+#: (a theta=0.99 fleet settles around ~50 live ranges).
+RANGE_STEERING_CAPACITY = 128
+
+
+def steering_budget(capacity: int = RANGE_STEERING_CAPACITY) -> "ResourceBudget":
+    """A fresh budget holding only the range-steering pool.
+
+    The steering table is front-door state shared by all groups (it is
+    consulted before a packet is steered to any group's pipeline slice),
+    so the serving tier accounts for it in one budget rather than per
+    shard switch.
+    """
+    budget = ResourceBudget()
+    budget.add_pool(STEERING_POOL, capacity)
+    return budget
+
 
 class ResourceError(ValueError):
     """The declared layout cannot be placed on the ASIC."""

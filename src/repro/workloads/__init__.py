@@ -9,13 +9,30 @@ from .experiments import (
     measure_goodput,
     measure_latency_at_load,
 )
-from .generators import UniformGenerator, YcsbWorkload, ZipfianGenerator
+from .fleet import (
+    ClientFleet,
+    FleetConfig,
+    ServingDriver,
+    run_serving_cell,
+    sampler_attribution,
+)
+from .generators import (
+    SplitMix64,
+    UniformGenerator,
+    YcsbWorkload,
+    ZipfianGenerator,
+    zipf_share,
+)
 from .metrics import LatencyRecorder, ThroughputWindow, percentile
 
 __all__ = [
+    "ClientFleet",
     "ClosedLoopDriver",
+    "FleetConfig",
     "LatencyRecorder",
     "OpenLoopDriver",
+    "ServingDriver",
+    "SplitMix64",
     "ThroughputWindow",
     "UniformGenerator",
     "YcsbWorkload",
@@ -26,4 +43,7 @@ __all__ = [
     "measure_goodput",
     "measure_latency_at_load",
     "percentile",
+    "run_serving_cell",
+    "sampler_attribution",
+    "zipf_share",
 ]

@@ -1,0 +1,176 @@
+"""Units for the range key map and the hot-range planner."""
+
+import pytest
+
+from repro.consensus.ranges import (HotRangePlanner, KeyRange, RangeKeyMap,
+                                    RangeMove)
+from repro.switch.resources import (RANGE_STEERING_CAPACITY, STEERING_POOL,
+                                    SwitchResourceError, steering_budget)
+
+
+class TestRangeKeyMap:
+    def test_uniform_partition_covers_keyspace(self):
+        key_map = RangeKeyMap.uniform(1000, 8)
+        assert len(key_map) == 8
+        assert key_map.ranges[0].lo == 0
+        assert key_map.ranges[-1].hi == 1000
+        for left, right in zip(key_map.ranges, key_map.ranges[1:]):
+            assert left.hi == right.lo
+
+    def test_owner_of_routes_by_range(self):
+        key_map = RangeKeyMap.uniform(100, 4)
+        assert key_map.owner_of(0) == 0
+        assert key_map.owner_of(24) == 0
+        assert key_map.owner_of(25) == 1
+        assert key_map.owner_of(99) == 3
+
+    def test_out_of_range_key_rejected(self):
+        key_map = RangeKeyMap.uniform(100, 4)
+        with pytest.raises(ValueError):
+            key_map.owner_of(100)
+        with pytest.raises(ValueError):
+            key_map.owner_of(-1)
+
+    def test_non_contiguous_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            RangeKeyMap(100, [KeyRange(0, 40, 0), KeyRange(50, 100, 1)])
+        with pytest.raises(ValueError):
+            RangeKeyMap(100, [KeyRange(0, 50, 0)])
+
+    def test_split_keeps_owner_and_divides_load(self):
+        key_map = RangeKeyMap.uniform(100, 2)
+        key_map.ranges[0].load = 10.0
+        key_map.split(0, 25)
+        assert [r.lo for r in key_map.ranges] == [0, 25, 50]
+        assert key_map.ranges[0].owner == key_map.ranges[1].owner == 0
+        assert key_map.ranges[0].load == pytest.approx(5.0)
+        assert key_map.ranges[1].load == pytest.approx(5.0)
+        assert key_map.owner_of(30) == 0
+
+    def test_split_bumps_version_and_rejects_bad_points(self):
+        key_map = RangeKeyMap.uniform(100, 2)
+        v = key_map.version
+        key_map.split(0, 10)
+        assert key_map.version == v + 1
+        with pytest.raises(ValueError):
+            key_map.split(0, 0)
+        with pytest.raises(ValueError):
+            key_map.split(0, 10)
+
+    def test_cannot_split_migrating_range(self):
+        key_map = RangeKeyMap.uniform(100, 2)
+        key_map.ranges[0].migrating = True
+        with pytest.raises(ValueError):
+            key_map.split(0, 25)
+
+    def test_group_loads_sum_by_owner(self):
+        key_map = RangeKeyMap.uniform(100, 2)
+        key_map.ranges[0].load = 3.0
+        key_map.ranges[1].load = 7.0
+        key_map.reassign(1, 0)
+        assert key_map.group_loads(2) == [10.0, 0.0]
+
+
+class TestHotRangePlanner:
+    def _planner(self, groups=2, keyspace=1024, **kwargs):
+        key_map = RangeKeyMap.uniform(keyspace, groups)
+        return HotRangePlanner(key_map, groups, **kwargs), key_map
+
+    def _warm(self, planner, counts, epochs=None):
+        """Feed identical counts until the move pass is live; returns
+        the first non-empty batch of proposed moves (or [])."""
+        first = []
+        for _ in range(epochs or planner.min_history + 1):
+            planner.observe(counts)
+            moves = planner.plan()
+            if moves and not first:
+                first = moves
+        return first
+
+    def test_balanced_load_proposes_nothing(self):
+        planner, key_map = self._planner()
+        for _ in range(planner.min_history + 2):
+            # Width-proportional counts = a perfectly uniform keyspace,
+            # rebinned against the current ranges after any splits.
+            planner.observe([r.span for r in key_map.ranges])
+            assert planner.plan() == []
+        assert planner.moves_proposed == 0
+
+    def test_hot_range_splits_then_moves(self):
+        planner, key_map = self._planner()
+        moves = self._warm(planner, [1000, 10])
+        assert planner.splits > 0
+        assert moves, "a skewed map must propose a move"
+        assert all(isinstance(m, RangeMove) for m in moves)
+        assert all(m.src == 0 and m.dst == 1 for m in moves)
+        for move in moves:
+            r = key_map.ranges[key_map.index_of(move.lo)]
+            assert r.migrating, "proposed ranges must be fenced"
+
+    def test_complete_move_flips_owner_and_unfences(self):
+        planner, key_map = self._planner()
+        moves = self._warm(planner, [1000, 10])
+        move = moves[0]
+        planner.complete_move(move.lo, move.dst)
+        r = key_map.ranges[key_map.index_of(move.lo)]
+        assert r.owner == move.dst and not r.migrating
+
+    def test_abort_move_unfences_without_flip(self):
+        planner, key_map = self._planner()
+        moves = self._warm(planner, [1000, 10])
+        move = moves[0]
+        planner.abort_move(move.lo)
+        r = key_map.ranges[key_map.index_of(move.lo)]
+        assert r.owner == move.src and not r.migrating
+
+    def test_no_moves_before_min_history(self):
+        planner, _ = self._planner(min_history=5)
+        for _ in range(4):
+            planner.observe([1000, 10])
+            assert planner.plan() == []
+
+    def test_busy_destination_not_retargeted(self):
+        """While a move to group 1 is in flight, group 1 accepts no
+        second reconfiguration."""
+        planner, _ = self._planner(groups=3, max_moves_per_epoch=8)
+        moves = self._warm(planner, [900, 0, 0])
+        dsts = [m.dst for m in moves]
+        assert len(dsts) == len(set(dsts))
+        more = self._warm(planner, [900, 0, 0], epochs=1)
+        assert not any(m.dst in dsts for m in more)
+
+    def test_cooldown_blocks_immediate_rebounce(self):
+        planner, key_map = self._planner(cooldown_epochs=100)
+        moves = self._warm(planner, [1000, 10])
+        move = moves[0]
+        planner.complete_move(move.lo, move.dst)
+        # The moved range now makes group 1 the hot one; without the
+        # cooldown the planner would bounce it straight back through
+        # another 40 ms blackout.
+        for _ in range(5):
+            counts = [0] * len(key_map)
+            counts[key_map.index_of(move.lo)] = 2000
+            planner.observe(counts)
+            for again in planner.plan():
+                assert again.lo != move.lo
+
+    def test_steering_budget_bounds_splits(self):
+        budget = steering_budget(capacity=6)
+        key_map = RangeKeyMap.uniform(1024, 2)
+        planner = HotRangePlanner(key_map, 2, budget=budget)
+        assert budget.used(STEERING_POOL) == 2
+        self._warm(planner, [4000, 10], epochs=10)
+        assert len(key_map) <= 6
+        assert planner.steering_rejects > 0
+        assert budget.used(STEERING_POOL) == len(key_map)
+
+    def test_planner_rejects_oversubscribed_initial_map(self):
+        key_map = RangeKeyMap.uniform(1024, 8)
+        with pytest.raises(SwitchResourceError):
+            HotRangePlanner(key_map, 8, budget=steering_budget(capacity=4))
+
+    def test_default_capacity_admits_uniform_g8(self):
+        key_map = RangeKeyMap.uniform(100_000, 8)
+        planner = HotRangePlanner(key_map, 8, budget=steering_budget())
+        assert planner.budget.remaining(STEERING_POOL) == \
+            RANGE_STEERING_CAPACITY - 8

@@ -1,0 +1,233 @@
+"""Serving tier: fleet sampling, open-loop driver, hot-range migration.
+
+The heavyweight claims live here: per-shard wire digests bit-identical
+between the fast and slow simulator lanes *across a live hot-range
+migration*, a fault injected inside the 40 ms migration window healing
+without a wedge, and a budget-exhausted move degrading to the direct
+plane instead of blocking the fenced ops forever.
+"""
+
+import pytest
+
+from repro import fastlane
+from repro.consensus.cluster import ShardedCluster
+from repro.consensus.config import ClusterConfig
+from repro.consensus.ranges import HotRangePlanner, RangeKeyMap
+from repro.faults.injector import FaultInjector
+from repro.sim import SeededRng
+from repro.switch.resources import steering_budget
+from repro.workloads import generators
+from repro.workloads.experiments import install_trace_digest
+from repro.workloads.fleet import (ClientFleet, FleetConfig, ServingDriver,
+                                   run_serving_cell)
+from repro.workloads.metrics import LatencyRecorder
+
+#: Small serving cell: 2 groups, hot head, one migration inside the
+#: window (planner warmed fast so the move completes by ~52 ms).
+CELL = dict(groups=2, replicas=2, seed=7, keyspace=1000, clients=10_000,
+            offered_ops_per_sec=40_000.0, theta=0.99, value_size=32,
+            inflight_window=1, service_gap_ns=20_000.0, fleet_seed=3,
+            window_ns=60e6, epoch_ns=5e6,
+            planner=dict(min_span=8, min_history=1))
+
+
+class TestLatencyRecorder:
+    def test_percentiles_and_p999(self):
+        recorder = LatencyRecorder()
+        recorder.record_many(float(i) for i in range(1, 1001))
+        summary = recorder.summary()
+        assert summary["p50_us"] == pytest.approx(0.5005, rel=1e-3)
+        assert summary["p999_us"] == pytest.approx(0.999001, rel=1e-6)
+        assert summary["p999_us"] <= summary["max_us"]
+        assert recorder.percentile_ns(50) == pytest.approx(500.5)
+
+    def test_sort_cache_tracks_new_samples(self):
+        recorder = LatencyRecorder()
+        recorder.record(100.0)
+        assert recorder.percentile_ns(50) == 100.0
+        recorder.record(10.0)  # must invalidate the cached sort
+        assert recorder.percentile_ns(0) == 10.0
+        recorder.record_many([5.0, 200.0])
+        assert recorder.percentile_ns(0) == 5.0
+        assert recorder.percentile_ns(100) == 200.0
+
+    def test_record_order_does_not_matter(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.record_many([3.0, 1.0, 2.0])
+        b.record_many([1.0, 2.0, 3.0])
+        assert a.summary() == b.summary()
+
+
+class TestClientFleet:
+    def _fleet(self, **overrides):
+        config = FleetConfig(clients=10_000, offered_ops_per_sec=100_000.0,
+                             keyspace=1000, theta=0.99, seed=4, **overrides)
+        return ClientFleet(config)
+
+    def test_epoch_sampling_is_deterministic(self):
+        a, b = self._fleet(), self._fleet()
+        assert a.sample_epoch(0.0, 5e6) == b.sample_epoch(0.0, 5e6)
+        assert a.sample_epoch(5e6, 5e6) == b.sample_epoch(5e6, 5e6)
+
+    def test_arrivals_sorted_within_window(self):
+        fleet = self._fleet()
+        arrivals, keys = fleet.sample_epoch(10e6, 5e6)
+        assert arrivals == sorted(arrivals)
+        assert all(10e6 <= t < 15e6 for t in arrivals)
+        assert len(arrivals) == len(keys)
+        assert all(0 <= k < 1000 for k in keys)
+
+    def test_arrival_count_tracks_offered_rate(self):
+        fleet = self._fleet()
+        total = sum(len(fleet.sample_epoch(i * 5e6, 5e6)[0])
+                    for i in range(40))
+        # 100k ops/s over 200 ms of epochs ~ 20000 arrivals.
+        assert 18_000 < total < 22_000
+
+    def test_scalar_backend_samples_identically(self, monkeypatch):
+        vectorized = self._fleet().sample_epoch(0.0, 5e6)
+        monkeypatch.setattr(generators, "NUMPY", False)
+        fallback = self._fleet().sample_epoch(0.0, 5e6)
+        assert fallback == vectorized
+
+
+def _run_cell(fast_lane, migration=True, injector_for=None, arm=None,
+              drain_groups=False, **overrides):
+    """One small serving cell; returns (report, driver, cluster)."""
+    spec = dict(CELL, **overrides)
+    fastlane.flags.set_all(fast_lane)
+    try:
+        config = ClusterConfig(num_replicas=spec["replicas"],
+                               protocol="p4ce", seed=spec["seed"],
+                               value_size_hint=spec["value_size"],
+                               batching=False)
+        key_map = RangeKeyMap.uniform(spec["keyspace"], spec["groups"])
+        cluster = ShardedCluster(spec["groups"], config, mode="lanes",
+                                 key_map=key_map)
+        digests = [install_trace_digest(shard) for shard in cluster.shards]
+        cluster.await_ready()
+        if drain_groups:
+            # Exhaust every shard switch's group pool so the migration's
+            # re-provisioning CM exchange is REJECTed.
+            for shard in cluster.shards:
+                budget = shard.control_plane.resources
+                budget.acquire("communication_groups",
+                               budget.remaining("communication_groups"))
+        injector = None
+        if injector_for is not None:
+            injector = FaultInjector(cluster.shards[injector_for])
+            arm(injector, cluster)
+        fleet = ClientFleet(FleetConfig(
+            clients=spec["clients"],
+            offered_ops_per_sec=spec["offered_ops_per_sec"],
+            keyspace=spec["keyspace"], theta=spec["theta"],
+            value_size=spec["value_size"],
+            inflight_window=spec["inflight_window"],
+            service_gap_ns=spec["service_gap_ns"],
+            seed=spec["fleet_seed"]))
+        planner = None
+        if migration:
+            planner = HotRangePlanner(key_map, spec["groups"],
+                                      budget=steering_budget(),
+                                      **spec["planner"])
+        driver = ServingDriver(cluster, fleet, planner=planner,
+                               injector=injector, warmup_epochs=2)
+        driver.run(spec["window_ns"], spec["epoch_ns"])
+        report = driver.report(spec["window_ns"])
+        report["trace_digests"] = [d.hexdigest() for d in digests]
+        return report, driver, cluster
+    finally:
+        fastlane.enable()
+
+
+class TestServingDeterminism:
+    def test_fast_slow_digest_parity_across_live_migration(self):
+        fast, driver, _ = _run_cell(True)
+        assert any(m["complete"] for m in fast["migrations"]), \
+            "the cell must exercise a live migration"
+        slow, _, _ = _run_cell(False)
+        assert fast["trace_digests"] == slow["trace_digests"]
+        assert fast["commits"] == slow["commits"]
+        assert fast["injected"] == slow["injected"]
+        assert fast["migrations"] == slow["migrations"]
+        assert fast["latency"] == slow["latency"]
+        # Ops may stay fenced only under a move still in flight at the
+        # window edge; a *completed* move must leave nothing behind.
+        in_flight = {m["lo"] for m in fast["migrations"]
+                     if not m["complete"]}
+        assert set(driver._held) <= in_flight
+
+    def test_migration_dip_bounded_and_reported(self):
+        report, _, _ = _run_cell(True)
+        assert report["availability_dips_bounded"]
+        done = [m for m in report["migrations"] if m["complete"]]
+        assert done
+        for move in done:
+            # The dip is the 40 ms reconfiguration window plus CM and
+            # barrier quantization -- never a silent free move.
+            assert 39.0 < move["dip_ms"] <= report[
+                "availability_dip_bound_ms"]
+            assert move["ops_held"] >= 0
+
+    def test_migration_off_leaves_map_static(self):
+        report, driver, _ = _run_cell(True, migration=False)
+        assert report["migrations"] == []
+        assert report["ranges"] == CELL["groups"]
+        assert report["commits"] > 0
+        assert driver.map.version == 0
+
+
+class TestMigrationWindowFault:
+    def _arm(self, injector, cluster):
+        leader = cluster.shards[1].leader
+        nid = leader.node_id
+        injector.at_migration(nth=1, offset_ns=5e6).partition_host(nid, False)
+        injector.at_migration(nth=1, offset_ns=5.3e6).heal_host(nid)
+
+    def test_leader_cable_cut_inside_window_heals(self):
+        fast, driver, cluster = _run_cell(True, injector_for=1,
+                                          arm=self._arm)
+        first = fast["migrations"][0]
+        assert first["dst"] == 1, "cell shape drifted: first move must " \
+            "target group 1 (re-pin the fault arming)"
+        kinds = [r.kind for r in driver.injector.journal]
+        assert "migration_window" in kinds
+        assert "partition" in kinds and "heal" in kinds
+        assert first["complete"] and first["ok"]
+        assert first["lo"] not in driver._held
+        assert fast["commits"] > 0
+        # The same faulted run, all lanes off: fusion must defuse at the
+        # cut, replay recovery on the slow path, and not move one byte.
+        slow, _, _ = _run_cell(False, injector_for=1, arm=self._arm)
+        assert fast["trace_digests"] == slow["trace_digests"]
+        assert fast["commits"] == slow["commits"]
+        assert fast["migrations"] == slow["migrations"]
+
+
+class TestBudgetExhaustedMove:
+    def test_rejected_move_degrades_to_direct_plane(self):
+        report, driver, cluster = _run_cell(True, drain_groups=True)
+        done = [m for m in report["migrations"] if m["complete"]]
+        assert done, "the move must still complete (degraded), not wedge"
+        first = done[0]
+        assert not first["ok"] and first["degraded"]
+        dst = cluster.shards[first["dst"]]
+        assert dst.leader.comm_mode == "direct"
+        assert dst.control_plane.provision_rejects >= 1
+        assert dst.control_plane.reject_pools.get(
+            "communication_groups", 0) >= 1
+        # Fenced ops of the completed move were released and served
+        # over the direct plane (not wedged behind the REJECT).
+        assert first["lo"] not in driver._held
+        assert report["per_shard_commits"][first["dst"]] > 0
+        assert report["commits"] > 0
+
+
+class TestRunServingCell:
+    def test_spec_runner_round_trips(self):
+        report = run_serving_cell(dict(CELL, fast_lane=True))
+        assert report["commits"] > 0
+        assert len(report["trace_digests"]) == CELL["groups"]
+        assert report["wall_clock_s"] > 0
+        assert report["migration"] is True
+        assert report["clients"] == CELL["clients"]

@@ -4,7 +4,9 @@ import pytest
 
 from repro.sim import SeededRng
 from repro.smr import KvStore
-from repro.workloads import UniformGenerator, YcsbWorkload, ZipfianGenerator
+from repro.workloads import (SplitMix64, UniformGenerator, YcsbWorkload,
+                             ZipfianGenerator, zipf_share)
+from repro.workloads import generators
 
 
 class TestZipfian:
@@ -53,6 +55,77 @@ class TestUniform:
         gen = UniformGenerator(5, SeededRng(1))
         samples = {gen.next() for _ in range(500)}
         assert samples == {0, 1, 2, 3, 4}
+
+
+class TestSplitMix64:
+    def test_counter_stream_is_deterministic(self):
+        a = SplitMix64(123)
+        b = SplitMix64(123)
+        assert [a.next_u64() for _ in range(10)] == \
+            [b.next_u64() for _ in range(10)]
+
+    def test_units_in_half_open_interval(self):
+        stream = SplitMix64(7)
+        units = [stream.next_unit() for _ in range(1000)]
+        assert all(0.0 <= u < 1.0 for u in units)
+
+    def test_batch_matches_scalar_stream(self):
+        scalar = SplitMix64(99)
+        batch = SplitMix64(99)
+        expect = [scalar.next_unit() for _ in range(257)]
+        got = list(batch.unit_batch(257))
+        assert got == expect
+
+    def test_batch_and_scalar_interleave(self):
+        """A batch draw advances the counter exactly like n scalar draws."""
+        a, b = SplitMix64(5), SplitMix64(5)
+        seq_a = [a.next_unit() for _ in range(3)] + list(a.unit_batch(5)) \
+            + [a.next_unit()]
+        seq_b = [b.next_unit() for _ in range(9)]
+        assert seq_a == seq_b
+
+
+class TestSampleBatch:
+    @pytest.mark.parametrize("theta", [0.0, 0.5, 0.99])
+    def test_zipfian_batch_equals_scalar(self, theta):
+        scalar = ZipfianGenerator(1000, theta, SeededRng(11))
+        batch = ZipfianGenerator(1000, theta, SeededRng(11))
+        expect = [scalar.next() for _ in range(2000)]
+        assert list(batch.sample_batch(2000)) == expect
+
+    def test_uniform_batch_equals_scalar(self):
+        scalar = UniformGenerator(37, SeededRng(2))
+        batch = UniformGenerator(37, SeededRng(2))
+        expect = [scalar.next() for _ in range(500)]
+        assert list(batch.sample_batch(500)) == expect
+
+    def test_scalar_fallback_is_bit_identical(self, monkeypatch):
+        """REPRO_NO_NUMPY must not change a single sampled key."""
+        vectorized = ZipfianGenerator(500, 0.99, SeededRng(3))
+        with_numpy = list(vectorized.sample_batch(1000))
+        monkeypatch.setattr(generators, "NUMPY", False)
+        fallback = ZipfianGenerator(500, 0.99, SeededRng(3))
+        assert list(fallback.sample_batch(1000)) == with_numpy
+
+    def test_single_key_space_batch(self):
+        gen = ZipfianGenerator(1, 0.99, SeededRng(1))
+        assert set(gen.sample_batch(64)) == {0}
+
+    def test_batch_values_in_range(self):
+        gen = ZipfianGenerator(100, 0.99, SeededRng(8))
+        assert all(0 <= v < 100 for v in gen.sample_batch(5000))
+
+
+class TestZipfShare:
+    def test_full_range_is_unity(self):
+        assert zipf_share(1000, 0.99, 0, 1000) == pytest.approx(1.0)
+
+    def test_head_dominates_under_skew(self):
+        head = zipf_share(100_000, 0.99, 0, 1)
+        assert 0.05 < head < 0.12  # the hottest key alone, ~8%
+
+    def test_uniform_shares_are_proportional(self):
+        assert zipf_share(1000, 0.0, 0, 100) == pytest.approx(0.1)
 
 
 class TestYcsb:

@@ -23,6 +23,12 @@ take the RDMA-timeout/go-back-N recovery on the slow path, re-engage once
 the retransmitted PSNs catch up -- and still produce the slow lane's
 exact digest.
 
+The ``serving`` workload drives a modeled million-client open-loop fleet
+(Poisson arrivals, Zipfian keys) into G range-partitioned groups with
+hot-range migration rebalancing ownership live; each cell's per-shard
+digests must match between the fast and slow lanes even across the 40 ms
+migration windows, and ``--check`` enforces the skew-throughput gates.
+
 Results are written to ``BENCH_<n>.json`` so future PRs have a perf
 trajectory; see ``docs/PERF.md`` for how to read it.
 
@@ -52,10 +58,13 @@ sys.path.insert(0, str(_REPO / "src"))
 
 from repro import fastlane, params  # noqa: E402
 from repro.faults.injector import FaultSchedule  # noqa: E402
+from repro.workloads import generators  # noqa: E402
 from repro.workloads.experiments import (  # noqa: E402
     ClosedLoopDriver, build_cluster, group_scaling_specs,
     install_trace_digest, reconcile_epoch_counters, run_group_scaling_serial,
     run_shard_point)
+from repro.workloads.fleet import (  # noqa: E402
+    run_serving_cell, sampler_attribution)
 
 MS = 1_000_000
 
@@ -115,6 +124,125 @@ SCALING_SPEC = dict(protocol="p4ce", replicas=2, value_size=64, window=128,
 _SCALING_LANES = (("fast", True, True, True),
                   ("fast_no_superfusion", True, True, False),
                   ("slow", False, False, False))
+
+
+#: The serving tier: a modeled million-client open-loop fleet (Poisson
+#: arrivals, Zipfian keys, batch-sampled per epoch) over G=8 range-
+#: partitioned groups, with hot-range splitting/migration rebalancing
+#: ownership live.  Offered load is ~80% of aggregate service capacity
+#: (capacity = groups / service_gap), so skew has real consequences: a
+#: saturated group queues, and only migration can recover the headroom.
+SERVING_SPEC = dict(groups=8, replicas=2, protocol="p4ce", seed=11,
+                    keyspace=100_000, clients=1_000_000,
+                    offered_ops_per_sec=160_000.0, value_size=64,
+                    inflight_window=1, service_gap_ns=40_000.0,
+                    fleet_seed=5, warmup_epochs=2,
+                    window_ns=400 * MS, epoch_ns=5 * MS)
+SERVING_SPEC_QUICK = dict(SERVING_SPEC, groups=4, clients=250_000,
+                          offered_ops_per_sec=80_000.0,
+                          window_ns=120 * MS)
+
+#: Skew levels swept: uniform (the baseline migration must retain),
+#: moderate and YCSB-default Zipfian.
+_SERVING_THETAS = (0.0, 0.9, 0.99)
+_SERVING_THETAS_QUICK = (0.0, 0.99)
+
+#: Metrics that must be bit-identical between serving lanes.
+_SERVING_DETERMINISM_KEYS = ("trace_digests", "commits", "injected",
+                             "per_shard_commits", "migrations", "latency")
+
+
+def run_serving(*, quick: bool) -> dict:
+    """The serving sweep: theta x {migration on, off}, fast + slow lanes.
+
+    Every cell runs twice -- full fast stack and all lanes off -- and the
+    per-shard wire digests must match bit-for-bit, *including the cells
+    whose epochs span live hot-range migrations*.  Quick mode trims to a
+    3-cell smoke (uniform needs no off-cell: with no skew there is
+    nothing to migrate); the acceptance gates are enforced by
+    ``--check`` on full runs only, where the sizing guarantees contrast.
+    """
+    base = SERVING_SPEC_QUICK if quick else SERVING_SPEC
+    thetas = _SERVING_THETAS_QUICK if quick else _SERVING_THETAS
+    out = {
+        "spec": dict(base),
+        "cells": {},
+        "sampler": sampler_attribution(
+            samples=200_000 if quick else 1_000_000,
+            keyspace=base["keyspace"]),
+        "deterministic": True,
+        "determinism_failures": [],
+    }
+    failures = out["determinism_failures"]
+    for theta in thetas:
+        for migration in (True, False):
+            if quick and migration is False and theta == 0.0:
+                continue
+            name = f"theta{theta:g}_{'mig' if migration else 'nomig'}"
+            print(f"[serving] {name}: fast + slow lanes "
+                  f"({base['window_ns'] / MS:g} ms window, "
+                  f"G={base['groups']})...")
+            spec = dict(base, theta=theta, migration=migration)
+            fast = run_serving_cell(dict(spec, fast_lane=True))
+            slow = run_serving_cell(dict(spec, fast_lane=False))
+            for key in _SERVING_DETERMINISM_KEYS:
+                if fast[key] != slow[key]:
+                    failures.append(
+                        f"serving/{name}: {key} differs between fast and "
+                        f"slow lanes")
+            cell = dict(fast)
+            cell["slow_wall_clock_s"] = slow["wall_clock_s"]
+            out["cells"][name] = cell
+            done = sum(1 for m in fast["migrations"] if m["complete"])
+            print(f"  {fast['commits_per_sec'] / 1e3:7.1f}k commits/s  "
+                  f"p50={fast['latency'].get('p50_us', 0.0):.0f}us "
+                  f"p99={fast['latency'].get('p99_us', 0.0):.0f}us  "
+                  f"migrations={done}/{len(fast['migrations'])} "
+                  f"max_dip={fast['max_dip_ms']:.1f}ms  "
+                  f"wall={fast['wall_clock_s']:.0f}s/"
+                  f"{slow['wall_clock_s']:.0f}s")
+            if not fast["availability_dips_bounded"]:
+                failures.append(
+                    f"serving/{name}: a migration dip exceeded the "
+                    f"reconfiguration-window bound "
+                    f"({fast['max_dip_ms']:.2f} ms > "
+                    f"{fast['availability_dip_bound_ms']:.2f} ms)")
+    out["deterministic"] = not failures
+    return out
+
+
+def check_serving(serving: dict, *, quick: bool) -> list:
+    """The serving acceptance gates (full runs only -- quick cells are
+    too short for steady-state throughput ratios to mean anything)."""
+    problems = []
+    if quick:
+        return problems
+    cells = serving["cells"]
+    uniform = cells.get("theta0_mig")
+    skew_on = cells.get("theta0.99_mig")
+    skew_off = cells.get("theta0.99_nomig")
+    if uniform and skew_on:
+        retained = skew_on["commits_per_sec"] / uniform["commits_per_sec"]
+        serving["skew_retained_vs_uniform"] = retained
+        if retained < 0.70:
+            problems.append(
+                f"serving: theta=0.99 with migration retains only "
+                f"{retained:.2f}x the uniform aggregate (target >= 0.70)")
+    if skew_on and skew_off:
+        gain = skew_on["commits_per_sec"] / skew_off["commits_per_sec"]
+        serving["migration_gain_vs_static"] = gain
+        if gain < 1.5:
+            problems.append(
+                f"serving: migration gains only {gain:.2f}x over the "
+                f"static skewed baseline (target >= 1.5x)")
+    sampler = serving["sampler"]
+    if sampler["vectorized_backend"]:
+        if sampler["speedup_batch_vs_scalar"] < 10.0:
+            problems.append(
+                f"serving: batch sampling is only "
+                f"{sampler['speedup_batch_vs_scalar']:.1f}x the scalar "
+                f"path at {sampler['samples']} draws (target >= 10x)")
+    return problems
 
 
 def run_lane(spec: dict, lane_name: str, lane_on: bool, fusion_on: bool,
@@ -450,10 +578,11 @@ def main(argv=None) -> int:
                         help="short windows and one repeat (CI smoke)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per lane (default: 3, quick: 1)")
-    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_5.json",
+    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_6.json",
                         help="where to write the JSON report")
     parser.add_argument("--workload",
-                        choices=sorted(WORKLOADS) + ["group_scaling"],
+                        choices=sorted(WORKLOADS) + ["group_scaling",
+                                                     "serving"],
                         default=None,
                         help="run a single workload instead of all")
     parser.add_argument("--groups", default=None,
@@ -473,13 +602,14 @@ def main(argv=None) -> int:
     warmup_ns = 0.3 * MS if args.quick else 1 * MS
     window_ns = 1 * MS if args.quick else 4 * MS
     repeats = args.repeats or (1 if args.quick else 3)
-    if args.workload == "group_scaling":
+    if args.workload in ("group_scaling", "serving"):
         names = []
     elif args.workload:
         names = [args.workload]
     else:
         names = sorted(WORKLOADS)
     run_groups = args.workload in (None, "group_scaling")
+    run_fleet = args.workload in (None, "serving")
     if args.groups:
         groups = tuple(int(g) for g in args.groups.split(","))
     else:
@@ -564,6 +694,30 @@ def main(argv=None) -> int:
                     print(f"  CHECK FAILURE: G=8 aggregate is only "
                           f"{aggregate / 1e6:.1f} M commits/s "
                           f"(target >= 50M)")
+
+    if run_fleet:
+        print(f"[serving] fleet sweep: theta x migration on/off...")
+        serving = run_serving(quick=args.quick)
+        report["serving"] = serving
+        sampler = serving["sampler"]
+        print(f"  sampler: batch {sampler['batch_ns_per_sample']:.0f} "
+              f"ns/draw vs scalar {sampler['scalar_ns_per_sample']:.0f} "
+              f"ns/draw = {sampler['speedup_batch_vs_scalar']:.1f}x "
+              f"(vectorized={sampler['vectorized_backend']})")
+        if not serving["deterministic"]:
+            ok = False
+            for failure in serving["determinism_failures"]:
+                print(f"  DETERMINISM FAILURE: {failure}")
+        if args.check:
+            for problem in check_serving(serving, quick=args.quick):
+                ok = False
+                print(f"  CHECK FAILURE: {problem}")
+            retained = serving.get("skew_retained_vs_uniform")
+            gain = serving.get("migration_gain_vs_static")
+            if retained is not None and gain is not None:
+                print(f"  serving gates: retained {retained:.2f}x of "
+                      f"uniform (>=0.70), {gain:.2f}x over static skew "
+                      f"(>=1.5)")
 
     if args.profile:
         # Profiled windows carry instrumentation overhead; never let them
