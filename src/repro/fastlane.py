@@ -5,7 +5,7 @@ identical with the fast lanes on or off; the flags exist so that
 ``tools/bench_sim.py`` can *prove* it by running the same workload both
 ways and comparing ``events_executed`` and the packet-trace digest.
 
-Nine lanes, mirroring the optimisations described in ``docs/PERF.md``:
+Twelve lanes, mirroring the optimisations described in ``docs/PERF.md``:
 
 ``cow_packets``
     :meth:`repro.net.packet.Packet.copy` shares frozen headers instead of
@@ -86,6 +86,22 @@ Nine lanes, mirroring the optimisations described in ``docs/PERF.md``:
     vectorized and a pure-python scalar fallback otherwise
     (:mod:`repro.switch.registers`).
 
+``columnar_express``
+    Lane 12, layered on ``window_superfusion``: inside a batched drain
+    the interior per-leg frames of a clean flight -- the scattered
+    replica writes and their ACKs -- are never materialized as
+    ``Packet`` objects at all.  Virtual express stages advance the same
+    hop timeline (identical timestamps, sequence numbers, busy
+    horizons) while staging register deltas, port-counter increments
+    and cache bumps in per-path columns that flush as slab operations
+    once per drain, and the wire-digest tap renders each batch of
+    virtual frames from pre-rendered templates -- varying columns
+    patched in bulk, ICRCs recombined from cached CRC prefixes -- and
+    feeds SHA-256 one contiguous buffer in exact frame order
+    (:mod:`repro.sim.columnar`).  Defusion and fallbacks materialize
+    any pending virtual frame into the real packet the slow lane would
+    have produced.
+
 All lanes default to on.  ``REPRO_FASTLANE=off`` (or ``0``/``false``)
 disables all of them for a process; ``enable()`` / ``disable()`` flip them
 at runtime (takes effect for packets processed afterwards -- benchmarks
@@ -99,7 +115,8 @@ import os
 
 _LANES = ("cow_packets", "incremental_icrc", "flow_cache", "kernel_hotloop",
           "rewrite_templates", "object_pools", "delivery_batching",
-          "hot_reads", "flight_fusion", "window_superfusion")
+          "hot_reads", "flight_fusion", "window_superfusion",
+          "columnar_express")
 
 
 class _Flags:
@@ -121,6 +138,29 @@ class _Flags:
 #: Process-wide fast-lane switches.  Import the module and read
 #: ``fastlane.flags.<lane>`` (not ``from ... import flags``-then-rebind).
 flags = _Flags()
+
+
+#: Process-wide lane-12 telemetry, aggregated across planners and digest
+#: taps.  ``runs_vectorized`` counts drains that executed at least one
+#: virtual hop, ``hops_batched`` the virtual hops themselves,
+#: ``columnar_fallbacks`` virtual frames materialized back into packets
+#: (defusion or unclean probes), ``frames_bulk_hashed`` frames absorbed
+#: through the batched digest tap, and ``digest_flushes`` the contiguous
+#: buffers handed to SHA-256.  Benchmarks call :func:`reset_columnar`
+#: before a run so the numbers they embed are per-run.
+columnar = {
+    "runs_vectorized": 0,
+    "hops_batched": 0,
+    "columnar_fallbacks": 0,
+    "frames_bulk_hashed": 0,
+    "digest_flushes": 0,
+}
+
+
+def reset_columnar() -> None:
+    """Zero the process-wide lane-12 telemetry counters."""
+    for key in columnar:
+        columnar[key] = 0
 
 
 def enable() -> None:
@@ -149,4 +189,5 @@ def stats() -> dict:
         "lanes": flags.as_dict(),
         "numpy_available": registers.NUMPY,
         "vectorized": bool(registers.NUMPY and flags.window_superfusion),
+        "columnar": dict(columnar),
     }

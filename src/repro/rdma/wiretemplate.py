@@ -294,6 +294,44 @@ def gather_rewrite(packet: Packet, templates: Dict[tuple, _WireTemplate],
     return True
 
 
+def scatter_fingerprint(packet: Packet) -> tuple:
+    """Template fingerprint of a Bth+Reth WRITE packet.
+
+    Identical to the tuple :func:`scatter_rewrite` derives for the
+    two-header shape, so lane 12's virtual legs share the same template
+    dict entries as materialized ones.  The caller guarantees the shape
+    (columnar flights are gated on Bth+Reth at fuse time).
+    """
+    upper = packet._upper
+    bth = upper[0]
+    reth = upper[1]
+    ipv4 = packet._ipv4
+    udp = packet._udp
+    return (2, int(bth.opcode), bth.solicited, bth.partition_key,
+            packet._eth.ethertype, ipv4.protocol, ipv4.ttl,
+            ipv4.identification, ipv4.dscp, udp.src_port,
+            len(packet._payload), reth.dma_length)
+
+
+def scatter_template(packet: Packet, templates: Dict[tuple, _WireTemplate],
+                     fp: tuple, pre: tuple, src_mac, src_ip) -> _WireTemplate:
+    """Get-or-build the scatter template for fingerprint ``fp``.
+
+    The lookup/build halves of :func:`scatter_rewrite`, without patching
+    any packet: lane 12 resolves the template once per virtual leg and
+    defers the byte patching to the digest tap (or to materialization).
+    Every field ``_build`` reads is part of the fingerprint or invariant
+    under the rewrite itself, so building from an already-rewritten
+    launch packet yields the identical template.
+    """
+    tmpl = templates.get(fp)
+    if tmpl is None:
+        tmpl = _build(packet, pre[0], pre[1], pre[2], pre[3], pre[6],
+                      src_mac, src_ip, _EXT_RETH)
+        templates[fp] = tmpl
+    return tmpl
+
+
 # ---------------------------------------------------------------------------
 # NIC TX frame templates
 # ---------------------------------------------------------------------------
@@ -360,6 +398,25 @@ class _AckTemplate:
         self.state = zlib.crc32(base.pseudo + bth_static)
 
 
+def ack_template(templates: Dict[tuple, _TxTemplate], gateway_mac, src_mac,
+                 src_ip, dst_ip, src_port: int, dst_port: int,
+                 dest_qp: int) -> _AckTemplate:
+    """Get-or-build the per-QP ACK template (``gateway_mac`` revalidated
+    by identity so re-cabling rebuilds instead of lying).
+
+    Factored out of :func:`ack_frame` so lane 12's columnar digest tap
+    can warm and reference the same template object without building a
+    ``Packet`` per virtual ACK.
+    """
+    tmpl = templates.get("ack")
+    if tmpl is None or tmpl.base.gateway_mac is not gateway_mac:
+        base = _TxTemplate(gateway_mac, src_mac, src_ip, dst_ip, src_port,
+                           dst_port, Bth.SIZE + Aeth.SIZE, 0)
+        tmpl = _AckTemplate(base, dest_qp)
+        templates["ack"] = tmpl
+    return tmpl
+
+
 def ack_frame(templates: Dict[tuple, _TxTemplate], gateway_mac, src_mac,
               src_ip, dst_ip, src_port: int, dst_port: int, dest_qp: int,
               psn: int, syndrome: int, msn: int) -> Packet:
@@ -369,12 +426,8 @@ def ack_frame(templates: Dict[tuple, _TxTemplate], gateway_mac, src_mac,
     dest_qp, psn), Aeth(syndrome, msn)]`` and an empty payload -- the
     equivalence tests pin the two paths together.
     """
-    tmpl = templates.get("ack")
-    if tmpl is None or tmpl.base.gateway_mac is not gateway_mac:
-        base = _TxTemplate(gateway_mac, src_mac, src_ip, dst_ip, src_port,
-                           dst_port, Bth.SIZE + Aeth.SIZE, 0)
-        tmpl = _AckTemplate(base, dest_qp)
-        templates["ack"] = tmpl
+    tmpl = ack_template(templates, gateway_mac, src_mac, src_ip, dst_ip,
+                        src_port, dst_port, dest_qp)
     tail = _S_ACK_TAIL.pack(psn & PSN_MASK,
                             (syndrome << 24) | (msn & PSN_MASK))
     icrc = zlib.crc32(tail, tmpl.state) & 0xFFFFFFFF

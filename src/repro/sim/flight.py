@@ -59,6 +59,31 @@ When a single-packet consensus write launches on a validated path, the
    register-cell arithmetic as the real RegisterActions, so reuse is
    exact.
 
+Columnar express kernels (fast lane 12)
+---------------------------------------
+
+Lane 11 batches *when* hops run; lane 12 collapses *what* most hops do.
+On a super-fused path whose replica links carry the batched digest tap
+(or no tap), the interior of a flight -- scatter legs, replica delivery,
+replica ACKs -- never builds packets at all: each frame travels as a
+:class:`_VFrame` (a wire-template reference plus the two or three words
+that vary per frame).  Timing and busy-horizon arithmetic stay live hop
+by hop (they feed successor scheduling), but the frames' remaining
+observable effects -- register cells, switch/NIC/link counters, the wire
+digest -- are staged per path (:class:`_VStage`, per-leg tally arrays)
+and landed in slab operations by :meth:`FlightPlanner.flush_columnar` at
+batch-drain exit.  Anything that could observe intermediate state
+flushes first: express fallbacks, control-plane register writes
+(``Register.cp_write`` calls the flight watch), defusion, and the lane-9
+gather stage when virtual and real flights mix on one path.  A virtual
+frame materializes into the exact real ``Packet`` on demand -- express
+fallback, defusion, or the gather threshold, where the forwarded ACK
+becomes real and rides the lane-9 tail to the leader.  The launch
+WRITE's in-place egress rewrite (it is the last multicast leg) is
+deferred on ``FusedFlight.vrw`` and applied only where the packet can
+still be observed (defusion); materializing it pins still-virtual
+pre-rewrite siblings to fanout copies of the pristine bytes first.
+
 The fast-vs-slow digest harness (``tools/bench_sim.py``) proves all of
 this end to end: identical ``events_executed``, metrics and packet-trace
 digests on every workload, including fault sweeps where fusion disengages
@@ -68,16 +93,31 @@ and re-engages mid-run.
 from __future__ import annotations
 
 import heapq
+import zlib
 from typing import Any, Dict, List, Optional, Set
 
 from .. import fastlane, params
+from ..net.headers import ETHERNET_FCS_BYTES, EthernetHeader
 from ..p4ce.dataplane import EMPTY_CREDIT, _K_GATHER, _K_SCATTER
-from ..rdma.headers import Aeth, Bth, Reth
+from ..rdma.headers import Aeth, Bth, PSN_MASK, Reth
 from ..rdma.icrc import check_icrc, stamp_icrc
 from ..rdma.memory import Access
 from ..rdma.opcodes import AethCode, Opcode, make_syndrome, saturate_credits
 from ..rdma.qp import QpState, psn_add
-from ..rdma.wiretemplate import ack_frame, scatter_rewrite
+from ..rdma.wiretemplate import (
+    _ACKPSN_OFF,
+    _SUF_ACKPSN_OFF,
+    _SUF_EXT_OFF,
+    _U32,
+    _U64,
+    _install,
+    ack_frame,
+    ack_template,
+    scatter_fingerprint,
+    scatter_rewrite,
+    scatter_template,
+)
+from .columnar import _FLUSH_LIMIT, _VA_OFF, DigestTap
 from .kernel import Event, Simulator
 from .trace import TraceRecord, Tracer
 
@@ -102,12 +142,18 @@ _OP_ACK = Opcode.ACKNOWLEDGE
 #: state the phantom is cancelled at completion and never fires.
 _PHANTOM_SLACK = 1.0
 
+#: Ethernet framing bytes around the IPv4 datagram (wire-size arithmetic
+#: for virtual ACK frames, matching ``Packet.wire_size``).
+_ETH_WRAP = EthernetHeader.SIZE + ETHERNET_FCS_BYTES
+
+_INF = float("inf")
+
 
 class FusedFlight:
     """One in-flight fused consensus round."""
 
     __slots__ = ("qp", "first_psn", "pending", "latest_vt", "phantom", "t0",
-                 "done")
+                 "done", "vrw")
 
     def __init__(self, qp, first_psn: int):
         self.qp = qp
@@ -121,6 +167,11 @@ class FusedFlight:
         #: Launch instant (per-path duration estimate learning).
         self.t0 = 0.0
         self.done = False
+        #: Lane 12: the rewritten *last* scatter leg rides the launch
+        #: original, whose in-place template install is deferred until
+        #: the packet can be observed (defusion / fallback) -- this holds
+        #: that leg's _VFrame until applied or the flight completes.
+        self.vrw = None
 
 
 class _FusedPath:
@@ -133,7 +184,7 @@ class _FusedPath:
                  "dir_down", "scatter_key", "fc", "ecache", "tcache",
                  "numrecv_cells", "numrecv_mask", "credit_regs",
                  "credit_agg", "stamp", "half_pipe", "pgap", "legs",
-                 "est_dur")
+                 "est_dur", "vx", "vst")
 
 
 class _FusedLeg:
@@ -141,7 +192,67 @@ class _FusedLeg:
 
     __slots__ = ("path", "rid", "out_port", "eg_port", "link", "dir_down",
                  "dir_back", "rport", "rnic", "rqp", "rqpn", "aggr_qpn",
-                 "ack_sport", "gather_key")
+                 "ack_sport", "gather_key", "tally")
+
+
+# Per-leg staged counter tallies (lane 12), indexed as:
+# 0 egress_runs, 1 switch tx_frames, 2/3 downlink frames/bytes,
+# 4 packets_received, 5 acks_sent, 6 replica packets_sent,
+# 7/8 uplink frames/bytes, 9 switch rx_frames, 10 surplus-ACK drops.
+_TALLY_N = 11
+
+
+class _VLaunch:
+    """Shared per-flight launch info for virtual scatter legs (lane 12):
+    everything every leg derives from the launch WRITE, computed once at
+    scatter ingress."""
+
+    __slots__ = ("packet", "flight", "psn0", "ack_req", "va0", "dlen",
+                 "payload", "payload_crc", "fp", "wire")
+
+
+class _VFrame:
+    """A virtual in-flight frame (lane 12): the varying words of one
+    scatter leg (``kind`` 0) or one replica ACK (``kind`` 1) plus a
+    wire-template reference -- enough to rebuild the exact real
+    ``Packet`` on demand (fallback, defusion, gather threshold) or to
+    feed the columnar digest tap without ever building it."""
+
+    __slots__ = ("kind", "leg", "lau", "last", "rewritten", "psn",
+                 "ack_word", "va", "rkey", "tmpl", "syndrome", "msn",
+                 "wire", "iport")
+
+
+class _VStage:
+    """Per-path staged columnar state (lane 12): register writes and
+    counter bumps accumulated across one batched drain, landed as slab
+    operations by :meth:`FlightPlanner.flush_columnar`.  The staging
+    rule: a cell or counter is staged only if *every* write to it during
+    a drain is staged (reads go through the stage), so flush order
+    against live mutations is never observable."""
+
+    __slots__ = ("active", "nr", "cv", "cdirty", "gi", "g_tabs", "g_tab_n",
+                 "g_hits", "g_gathered", "e_hits", "c_hits", "t_hits")
+
+    def __init__(self):
+        self.active = False
+        #: Staged NumRecv cells: absolute slot -> masked value.
+        self.nr = {}
+        #: Credit-cell mirror for the path's group index (lazily seeded
+        #: from the register cells on first use each drain).
+        self.cv = None
+        self.cdirty = set()
+        self.gi = 0
+        #: Gather flow-cache table-counter deltas: the cached
+        #: (table, hits, misses) list and how many times to apply it.
+        self.g_tabs = None
+        self.g_tab_n = 0
+        self.g_hits = 0
+        self.g_gathered = 0
+        # Scatter-egress cache hit tallies.
+        self.e_hits = 0
+        self.c_hits = 0
+        self.t_hits = 0
 
 
 class FlightPlanner:
@@ -194,6 +305,25 @@ class FlightPlanner:
         self.hops_batched = 0
         self.max_run_len = 0
         self.batch_splits = 0
+        # Lane 12 columnar telemetry.
+        self.vx_flights = 0
+        self.vx_hops = 0
+        self.vx_materialized = 0
+        self.vx_inlined = 0
+        self._vx_hops_flushed = 0
+        self._vx_mat_flushed = 0
+        #: Paths with staged columnar state awaiting flush_columnar.
+        self._vactive: List[_FusedPath] = []
+        #: Inline-chaining window (see _chain): successors strictly before
+        #: this barrier may execute immediately instead of riding the hop
+        #: heap.  Armed per run by _drain_super; -1.0 disarms.
+        self._inline_until = -1.0
+        self._run_hlen = -1
+        self._run_gen = -1
+        self._inline_credits = 0
+        #: Digest taps on resolved paths: held (no mid-drain flush) while
+        #: a batched drain may absorb frames out of timestamp order.
+        self._dtaps: List[DigestTap] = []
         sim._flight_drain = (self._drain_super if self._superfuse
                              else self.drain)
         sim._flight_planner = self
@@ -214,6 +344,10 @@ class FlightPlanner:
             "mean_run_len": (self.hops_batched / runs) if runs else 0.0,
             "max_run_len": self.max_run_len,
             "batch_splits": self.batch_splits,
+            "vx_flights": self.vx_flights,
+            "vx_hops": self.vx_hops,
+            "vx_materialized": self.vx_materialized,
+            "vx_inlined": self.vx_inlined,
         }
 
     # ------------------------------------------------------------------
@@ -256,10 +390,24 @@ class FlightPlanner:
         t = finish + _TX_LAT
         flight = FusedFlight(qp, first_psn)
         flight.t0 = now
+        xfn = self._x_leader_emit
+        if path.vx and flags.columnar_express:
+            up = packet._upper
+            if (len(up) == 2 and type(up[0]) is Bth and type(up[1]) is Reth
+                    and up[0].opcode is _OP_WRITE_ONLY and packet.has_icrc):
+                xfn = self._v_leader_emit
+                self.vx_flights += 1
+            else:
+                # A mixed-shape flight would run lane-9 register writes
+                # interleaved with this path's staged columnar state;
+                # drop to lane 9 for the path (the next control-plane
+                # epoch rebuild re-enables vx).
+                path.vx = False
+                self.flush_columnar()
         seq = sim._seq
         sim._seq = seq + 1
         heapq.heappush(self._fq, (t, seq, nic._emit, (packet,), flight,
-                                  self._x_leader_emit, path))
+                                  xfn, path))
         flight.pending = 1
         flight.latest_vt = t
         if not self._superfuse:
@@ -294,14 +442,74 @@ class FlightPlanner:
         if t > flight.latest_vt:
             flight.latest_vt = t
 
+    def _chain(self, t: float, fn, args: tuple, flight: FusedFlight,
+               xfn, ctx) -> None:
+        """Push a successor hop, running its express stage *immediately*
+        when the hop is provably the drain's next pop: strictly before
+        the run's real-event barrier, strictly before every pending hop
+        (seqs are monotone, so a timestamp tie loses to the queue), with
+        the kernel heap unmoved and the same-tick FIFO empty.  Under
+        those conditions executing now is literally what the drain loop
+        would do next, so every cross-flight read -- busy-horizon claims,
+        the RX-credit syndrome, queue-limit checks -- observes exactly
+        the slow lane's state; no weaker condition is safe, because pipe
+        claims (``start = max(busy, vt)``) are order-sensitive whenever
+        a pipe runs hot.  The hop consumes the same kernel seq either
+        way.  A defusion since the run began means express stages must
+        not outrun the new configuration: the hop becomes a real kernel
+        event, exactly as the mid-notify guard in the lane-9 replica-RX
+        stage does."""
+        sim = self._sim
+        if self._gen != self._run_gen:
+            new_args = None
+            for i, a in enumerate(args):
+                if type(a) is _VFrame:
+                    self.vx_materialized += 1
+                    if new_args is None:
+                        new_args = list(args)
+                    new_args[i] = self._materialize(a)
+            if new_args is not None:
+                args = tuple(new_args)
+            sim.schedule_at(t, fn, *args)
+            return
+        seq = sim._seq
+        sim._seq = seq + 1
+        fq = self._fq
+        if (t < self._inline_until and (not fq or t < fq[0][0])
+                and sim._heap_len == self._run_hlen and not sim._soon):
+            self._inline_credits += 1
+            sim._now = t
+            xfn(t, (t, seq, fn, args, flight, xfn, ctx))
+            return
+        heapq.heappush(fq, (t, seq, fn, args, flight, xfn, ctx))
+        flight.pending += 1
+        if t > flight.latest_vt:
+            flight.latest_vt = t
+
     def _fallback(self, entry: tuple) -> None:
         """Run a hop's real handler (at the warped clock) instead of its
         express stage.  Every express probe precedes its stage's first
         mutation, so the real handler starts from pristine state; the
         events it schedules are real kernel events with the exact seqs
-        the slow lane would have consumed next."""
+        the slow lane would have consumed next.  Lane 12: staged columnar
+        state lands first (the real handler must observe registers and
+        counters exactly as the slow lane would), then any virtual frame
+        in the hop's args is rebuilt into its real packet."""
         self.express_fallbacks += 1
-        entry[2](*entry[3])
+        if self._vactive:
+            self.flush_columnar()
+        args = entry[3]
+        new_args = None
+        for i, a in enumerate(args):
+            if type(a) is _VFrame:
+                self.vx_materialized += 1
+                if new_args is None:
+                    new_args = list(args)
+                new_args[i] = self._materialize(a)
+        if new_args is not None:
+            entry[2](*new_args)
+        else:
+            entry[2](*args)
 
     def _wire_out(self, link, d, src_port, packet, vt: float) -> float:
         """Inline ``Link.transmit`` for a clean hop (link up, lossless --
@@ -404,6 +612,12 @@ class FlightPlanner:
         mid-stage defusions) or the barrier time is reached.  Hops tied
         with the barrier timestamp are left for the next outer iteration,
         where the seq comparison resolves the tie in slow-lane order.
+
+        Lane 12 layers inline chaining on the runs: while a run holds,
+        a clean hop's successor executes depth-first via _chain instead
+        of round-tripping the hop heap.  Digest taps are held for the
+        drain (absorbs land out of time order; the tap re-sorts at
+        flush) and flushed down to the next safe horizon at exit.
         """
         sim = self._sim
         fq = self._fq
@@ -413,6 +627,9 @@ class FlightPlanner:
         heap = sim._heap
         pop = heapq.heappop
         credits = 0
+        dtaps = self._dtaps
+        for tap in dtaps:
+            tap.hold = True
         while fq:
             entry = fq[0]
             vt = entry[0]
@@ -437,6 +654,9 @@ class FlightPlanner:
             # real event while the heap stays put.
             run = 0
             hlen = sim._heap_len
+            self._run_hlen = hlen
+            self._run_gen = self._gen
+            self._inline_until = barrier
             while True:
                 pop(fq)
                 flight = entry[4]
@@ -463,11 +683,31 @@ class FlightPlanner:
                 entry = fq[0]
                 if entry[0] >= barrier:
                     break
+            self._inline_until = -1.0
+            run += self._inline_credits
+            self.vx_inlined += self._inline_credits
+            self._inline_credits = 0
             credits += run
             self.runs_fused += 1
             self.hops_batched += run
             if run > self.max_run_len:
                 self.max_run_len = run
+        # Lane 12's staged state stays staged across drains: the only
+        # mid-run readers -- RegisterAction.execute, control-plane writes,
+        # fallbacks and defusions -- flush on touch, counter landings
+        # commute (pure additions), and the kernel flushes at run exit.
+        # Deferral is what turns per-drain slabs (~a run's worth) into
+        # window-sized columns.
+        for tap in dtaps:
+            tap.hold = False
+            if len(tap._events) >= _FLUSH_LIMIT and not soon:
+                # Render the backlog up to the next event horizon: frames
+                # strictly before it are final (nothing can still absorb
+                # earlier than the front of either queue).
+                safe = fq[0][0] if fq else _INF
+                if heap and heap[0][0] < safe:
+                    safe = heap[0][0]
+                tap.flush_safe(safe)
         if credits:
             # Each hop is an event the slow lane executed.
             sim._event_count += credits
@@ -533,8 +773,13 @@ class FlightPlanner:
         real seqs, so ordering against live events is preserved).  Exact
         by construction: each hop tuple carries precisely the (fn, args)
         event the slow lane would have scheduled, and all of that event's
-        scheduling-time effects were applied when the hop was pushed."""
+        scheduling-time effects were applied when the hop was pushed.
+        Lane 12 state lands first (flush), and virtual frames rebuild
+        into real packets -- pre-rewrite scatter legs and ACKs before the
+        rewritten last legs, whose materialization patches the launch
+        original in place and would corrupt later fanout copies."""
         self._gen += 1
+        self.flush_columnar()
         sim = self._sim
         fq = self._fq
         if fq:
@@ -548,6 +793,29 @@ class FlightPlanner:
                 # the run early (the heap/soon checks in _drain_super).
                 self.batch_splits += 1
             ordered = sorted(fq)
+            fq.clear()
+            deferred = []
+            for n, entry in enumerate(ordered):
+                args = entry[3]
+                repl = None
+                for i, a in enumerate(args):
+                    if type(a) is not _VFrame:
+                        continue
+                    if a.kind == 0 and a.last and a.rewritten:
+                        deferred.append((n, i))
+                        continue
+                    self.vx_materialized += 1
+                    if repl is None:
+                        repl = list(args)
+                    repl[i] = self._materialize(a)
+                if repl is not None:
+                    ordered[n] = entry[:3] + (tuple(repl),) + entry[4:]
+            for n, i in deferred:
+                entry = ordered[n]
+                args = list(entry[3])
+                self.vx_materialized += 1
+                args[i] = self._materialize(args[i])
+                ordered[n] = entry[:3] + (tuple(args),) + entry[4:]
             # Materialized pushes carry historical (non-monotone) seqs;
             # never let them join an open delivery-batching bucket.
             sim._last_bucket = None
@@ -556,7 +824,6 @@ class FlightPlanner:
                 sim._pending += 1
                 sim._push(entry[0], entry[1],
                           Event(entry[0], entry[1], entry[2], entry[3], sim))
-            fq.clear()
             sim._last_bucket = None
             sim._last_time = -1.0
             tracer = self._tracer
@@ -571,6 +838,14 @@ class FlightPlanner:
                                                repr(entry[2]))})
                     for entry in ordered])
         for flight in self._flights:
+            # A live flight whose rewritten last leg already left the hop
+            # queue (delivered, counted at gather) still owes the launch
+            # original its in-place rewrite: the QP window retains that
+            # packet, and a retransmission would re-send its bytes.
+            vf = flight.vrw
+            if vf is not None:
+                self.vx_materialized += 1
+                self._materialize(vf)
             phantom = flight.phantom
             if phantom is not None:
                 phantom.cancel()
@@ -875,6 +1150,11 @@ class FlightPlanner:
         if cached is None or cached[0] != _K_GATHER:
             self._fallback(entry)
             return
+        if self._vactive:
+            # Lane 12 may have staged this path's credit/NumRecv cells
+            # (virtual and lane-9 flights mix after a pin or shape
+            # split): land them before the live register writes below.
+            self.flush_columnar()
         ack.meta["packet_token"] = sw._next_packet_token
         sw._next_packet_token += 1
         fc.hits += 1
@@ -981,6 +1261,563 @@ class FlightPlanner:
         self._push_hop(t, lnic._rx_process, (ack,), flight, None, None)
 
     # ------------------------------------------------------------------
+    # Lane 12: columnar staging, materialization and the _v_* stages.
+    # The _v_* chain mirrors the _x_* chain hop for hop -- same (vt, seq)
+    # tuples, same live timing arithmetic -- but the interior frames are
+    # _VFrames and their counter/register effects are staged per path.
+    # ------------------------------------------------------------------
+
+    def _stage(self, path: _FusedPath) -> _VStage:
+        vst = path.vst
+        if not vst.active:
+            vst.active = True
+            self._vactive.append(path)
+        return vst
+
+    def flush_columnar(self) -> None:
+        """Land lane 12's staged columnar state as slab operations:
+        NumRecv cells via ``Register.dp_scatter``, credit cells from the
+        mirror, counter tallies in one addition each.  Called at batched-
+        drain exit (so every real kernel event observes final state), by
+        ``_fallback`` before a real handler runs, by ``_defuse_all``, by
+        the lane-9 gather stage when lanes mix on a path, and by
+        ``Register.cp_write`` before a control-plane value lands (staged
+        data-plane deltas are older, so the CP write must win)."""
+        active = self._vactive
+        if not active:
+            return
+        self._vactive = []
+        col = fastlane.columnar
+        col["runs_vectorized"] += 1
+        col["hops_batched"] += self.vx_hops - self._vx_hops_flushed
+        self._vx_hops_flushed = self.vx_hops
+        col["columnar_fallbacks"] += (self.vx_materialized
+                                      - self._vx_mat_flushed)
+        self._vx_mat_flushed = self.vx_materialized
+        for path in active:
+            vst = path.vst
+            vst.active = False
+            prog = path.program
+            nr = vst.nr
+            if nr:
+                prog.numrecv.dp_scatter(list(nr), list(nr.values()))
+                nr.clear()
+            if vst.cdirty:
+                gi = vst.gi
+                regs = path.credit_regs
+                cv = vst.cv
+                for slot in vst.cdirty:
+                    regs[slot]._cells[gi] = cv[slot]
+                vst.cdirty.clear()
+            vst.cv = None
+            v = vst.g_hits
+            if v:
+                path.fc.hits += v
+                vst.g_hits = 0
+            n = vst.g_tab_n
+            if n:
+                for table, h, m in vst.g_tabs:
+                    table.hits += h * n
+                    table.misses += m * n
+                vst.g_tab_n = 0
+                vst.g_tabs = None
+            v = vst.g_gathered
+            if v:
+                prog.gathered_acks += v
+                vst.g_gathered = 0
+            v = vst.e_hits
+            if v:
+                path.ecache.hits += v
+                vst.e_hits = 0
+            v = vst.c_hits
+            if v:
+                prog.egress_conn_table.hits += v
+                vst.c_hits = 0
+            v = vst.t_hits
+            if v:
+                path.tcache.hits += v
+                vst.t_hits = 0
+            sw = path.switch
+            counters = sw.counters
+            for leg in path.legs:
+                t = leg.tally
+                c = counters[leg.out_port]
+                v = t[0]
+                if v:
+                    c.egress_runs += v
+                    t[0] = 0
+                v = t[1]
+                if v:
+                    c.tx_frames += v
+                    t[1] = 0
+                v = t[9]
+                if v:
+                    c.rx_frames += v
+                    t[9] = 0
+                v = t[2]
+                if v:
+                    ds = leg.dir_down.stats
+                    ds.frames += v
+                    ds.bytes += t[3]
+                    t[2] = 0
+                    t[3] = 0
+                v = t[7]
+                if v:
+                    bs = leg.dir_back.stats
+                    bs.frames += v
+                    bs.bytes += t[8]
+                    t[7] = 0
+                    t[8] = 0
+                rnic = leg.rnic
+                v = t[4]
+                if v:
+                    rnic.packets_received += v
+                    t[4] = 0
+                v = t[5]
+                if v:
+                    rnic.acks_sent += v
+                    t[5] = 0
+                v = t[6]
+                if v:
+                    rnic.packets_sent += v
+                    t[6] = 0
+                v = t[10]
+                if v:
+                    prog.dropped_acks += v
+                    sw.drops += v
+                    c.rx_drops += v
+                    t[10] = 0
+
+    def _pin_prerewrites(self, lau: _VLaunch) -> None:
+        """Materialize every still-virtual *pre-rewrite* sibling of a
+        launch packet about to be rewritten in place: their fanout copies
+        must capture the pristine bytes.  Each pinned hop keeps its exact
+        (vt, seq) -- the heap invariant is untouched -- and continues on
+        the lane-9 egress stage, which performs the real rewrite on the
+        fresh copy."""
+        fq = self._fq
+        for n, entry in enumerate(fq):
+            args = entry[3]
+            if len(args) != 3:
+                continue
+            vf = args[2]
+            if (type(vf) is not _VFrame or vf.kind != 0 or vf.rewritten
+                    or vf.lau is not lau):
+                continue
+            self.vx_materialized += 1
+            pkt = lau.packet.fanout_copy()
+            pkt.meta["replication_id"] = vf.leg.rid
+            fq[n] = (entry[0], entry[1], entry[2],
+                     (args[0], args[1], pkt), entry[4],
+                     self._x_scatter_egress, vf.leg)
+
+    def _materialize(self, vf: _VFrame):
+        """Rebuild the real ``Packet`` a virtual frame stands for.  For a
+        rewritten last leg this applies the deferred template install to
+        the launch original in place (pinning still-virtual pre-rewrite
+        siblings first), byte- and ICRC-identical to the
+        ``scatter_rewrite`` the lane-9 egress would have performed."""
+        leg = vf.leg
+        if vf.kind == 1:
+            rnic = leg.rnic
+            rqp = leg.rqp
+            ack = ack_frame(rqp.tx_templates, rnic.gateway_mac, rnic.mac,
+                            rnic.ip, rqp.remote_ip, leg.ack_sport,
+                            _ROCE_PORT, rqp.remote_qpn, vf.psn, vf.syndrome,
+                            vf.msn)
+            if vf.iport is not None:
+                ack.meta["ingress_port"] = vf.iport
+            return ack
+        lau = vf.lau
+        if vf.last:
+            pkt = lau.packet
+            self._pin_prerewrites(lau)
+        else:
+            pkt = lau.packet.fanout_copy()
+        pkt.meta["replication_id"] = leg.rid
+        if vf.rewritten:
+            if vf.last:
+                lau.flight.vrw = None
+            tmpl = vf.tmpl
+            block = bytearray(tmpl.block)
+            suffix = bytearray(tmpl.suffix)
+            _U32.pack_into(block, _ACKPSN_OFF, vf.ack_word)
+            _U32.pack_into(suffix, _SUF_ACKPSN_OFF, vf.ack_word)
+            _U64.pack_into(block, _VA_OFF, vf.va)
+            _U64.pack_into(suffix, _SUF_EXT_OFF, vf.va)
+            new_upper = [tmpl.bth.clone_rewrite(vf.psn, lau.ack_req),
+                         tmpl.reth.clone_rewrite(vf.va)]
+            _install(pkt, tmpl, new_upper, block, suffix, leg.path.stamp)
+            pkt.finalize()
+        return pkt
+
+    def _v_leader_emit(self, vt: float, entry: tuple) -> None:
+        # Lane 12 twin of _x_leader_emit: the launch frame is real (the
+        # leader's own TX); only the successor chain goes columnar.
+        path = entry[6]
+        packet = entry[3][0]
+        self.vx_hops += 1
+        path.nic.packets_sent += 1
+        t = self._wire_out(path.leader_link, path.dir_up, path.nic_port,
+                           packet, vt)
+        self._chain(t, path.leader_link._deliver, (path.dir_up, packet),
+                    entry[4], self._v_scatter_arrive, path)
+
+    def _v_scatter_arrive(self, vt: float, entry: tuple) -> None:
+        path = entry[6]
+        packet = entry[3][1]
+        self.vx_hops += 1
+        sw = path.switch
+        idx = path.leader_in_port
+        sw.counters[idx].rx_frames += 1
+        pbusy = sw._ingress_parser_busy
+        busy = pbusy[idx]
+        start = busy if busy > vt else vt
+        done = start + path.pgap
+        pbusy[idx] = done
+        packet.meta["ingress_port"] = idx
+        self._chain(done, sw._run_ingress, (idx, packet),
+                    entry[4], self._v_scatter_ingress, path)
+
+    def _v_scatter_ingress(self, vt: float, entry: tuple) -> None:
+        # Twin of _x_scatter_ingress, but the fan-out pushes _VFrames:
+        # per-leg varying words are computed at egress, the packets never.
+        path = entry[6]
+        flight = entry[4]
+        packet = entry[3][1]
+        sw = path.switch
+        fc = path.fc
+        cached = fc._cache.get(path.scatter_key)
+        if cached is None or cached[0] != _K_SCATTER:
+            self._fallback(entry)
+            return
+        for leg in path.legs:
+            tap = leg.link.tap
+            if tap is not None and type(tap) is not DigestTap:
+                # A foreign tap wants real frames: this flight (and the
+                # path, until the next epoch rebuild) rides lane 9.
+                path.vx = False
+                self._x_scatter_ingress(vt, entry)
+                return
+        self.vx_hops += 1
+        packet.meta["packet_token"] = sw._next_packet_token
+        sw._next_packet_token += 1
+        fc.hits += 1
+        for table, h, m in cached[2]:  # counter parity with the real walk
+            table.hits += h
+            table.misses += m
+        pre = cached[1]
+        vst = self._stage(path)
+        vst.nr[pre[0] + flight.first_psn % _NUMRECV_SLOTS] = 0
+        path.program.scattered += 1
+        upper = packet._upper
+        bth = upper[0]
+        reth = upper[1]
+        payload = packet._payload
+        cachedc = packet._payload_crc
+        if cachedc is not None and cachedc[0] is payload:
+            pcrc = cachedc[1]
+        else:
+            pcrc = zlib.crc32(payload)
+            packet._payload_crc = (payload, pcrc)
+        lau = _VLaunch()
+        lau.packet = packet
+        lau.flight = flight
+        lau.psn0 = bth.psn
+        lau.ack_req = bth.ack_req
+        lau.va0 = reth.virtual_address
+        lau.dlen = reth.dma_length
+        lau.payload = payload
+        lau.payload_crc = pcrc
+        lau.fp = scatter_fingerprint(packet)
+        lau.wire = packet.wire_size
+        tm = vt + path.half_pipe
+        legs = path.legs
+        last = len(legs) - 1
+        ebusy = sw._egress_parser_busy
+        pgap = path.pgap
+        for i, leg in enumerate(legs):
+            vf = _VFrame()
+            vf.kind = 0
+            vf.leg = leg
+            vf.lau = lau
+            vf.last = i == last
+            vf.rewritten = False
+            out = leg.out_port
+            busy = ebusy[out]
+            start = busy if busy > tm else tm
+            done = start + pgap
+            ebusy[out] = done
+            self._chain(done, sw._run_egress, (out, leg.rid, vf),
+                        flight, self._v_scatter_egress, leg)
+
+    def _v_scatter_egress(self, vt: float, entry: tuple) -> None:
+        # Twin of _x_scatter_egress: resolve the wire template and the
+        # leg's varying words; patch nothing.  The last leg's deferred
+        # in-place rewrite of the launch original parks on flight.vrw.
+        leg = entry[6]
+        path = leg.path
+        args = entry[3]
+        vf = args[2]
+        rid = args[1]
+        pre = path.ecache._cache.get(rid)
+        if pre is None:
+            self._fallback(entry)  # cold cache: real egress fills it
+            return
+        self.vx_hops += 1
+        vst = self._stage(path)
+        leg.tally[0] += 1
+        vst.e_hits += 1
+        vst.c_hits += 1
+        tcache = path.tcache
+        templates = tcache._cache.get(rid)
+        if templates is None:
+            templates = {}
+            tcache.put(rid, templates)
+        else:
+            vst.t_hits += 1
+        lau = vf.lau
+        sw = path.switch
+        tmpl = scatter_template(lau.packet, templates, lau.fp, pre,
+                                sw.mac, sw.ip)
+        psn = (lau.psn0 + pre[4]) & PSN_MASK
+        vf.psn = psn
+        vf.ack_word = ((1 << 31) if lau.ack_req else 0) | psn
+        vf.va = lau.va0 + pre[5]
+        vf.rkey = pre[6]
+        vf.tmpl = tmpl
+        vf.rewritten = True
+        if vf.last:
+            entry[4].vrw = vf
+        self._chain(vt + path.half_pipe, sw._transmit, (args[0], vf),
+                    entry[4], self._v_scatter_transmit, leg)
+
+    def _v_scatter_transmit(self, vt: float, entry: tuple) -> None:
+        # Twin of _x_scatter_transmit: live serialization horizon, staged
+        # counters, and the frame absorbed by the columnar digest tap.
+        leg = entry[6]
+        vf = entry[3][1]
+        self.vx_hops += 1
+        tally = leg.tally
+        tally[1] += 1
+        lau = vf.lau
+        wire = lau.wire
+        link = leg.link
+        d = leg.dir_down
+        busy = d.busy_until
+        start = busy if busy > vt else vt
+        on_wire = wire if wire > _MIN_FRAME else _MIN_FRAME
+        finish = start + (on_wire + _WIRE_OVERHEAD) * 8 * 1e9 / link.rate_bps
+        d.busy_until = finish
+        tally[2] += 1
+        tally[3] += wire
+        tap = link.tap
+        if tap is not None:
+            tap.absorb_scatter(vf.tmpl, vf.ack_word, vf.va, lau.payload,
+                               lau.payload_crc, vt)
+        self._chain(finish + link.propagation_ns, link._deliver,
+                    (d, vf), entry[4], self._v_replica_arrive, leg)
+
+    def _v_replica_arrive(self, vt: float, entry: tuple) -> None:
+        leg = entry[6]
+        vf = entry[3][1]
+        rnic = leg.rnic
+        if rnic._rx_inflight >= rnic.rx_queue_limit:
+            rnic.rx_dropped += 1
+            return  # the leg dies here, exactly as in the slow lane
+        self.vx_hops += 1
+        busy = rnic._rx_busy_until
+        start = busy if busy > vt else vt
+        finish = start + rnic.rx_gap_ns
+        rnic._rx_busy_until = finish
+        rnic._rx_inflight += 1
+        self._chain(finish + _RX_LAT, rnic._rx_process, (vf,),
+                    entry[4], self._v_replica_rx, leg)
+
+    def _v_replica_rx(self, vt: float, entry: tuple) -> None:
+        # Twin of _x_replica_rx.  Shape and opcode are guaranteed by
+        # construction (the template carries the launch WRITE_ONLY), and
+        # the ICRC check is a guaranteed template-cache hit, so the
+        # probes reduce to QP liveness, PSN order and memory access; any
+        # unclean answer rebuilds the real packet and falls back whole.
+        leg = entry[6]
+        vf = entry[3][0]
+        rnic = leg.rnic
+        qp = rnic.qps.get(leg.rqpn)
+        if (not rnic.powered or qp is None or qp.state is QpState.ERROR
+                or vf.psn != qp.expected_psn):
+            self._fallback(entry)
+            return
+        lau = vf.lau
+        region = rnic._check_remote_access(qp, vf.va, lau.dlen, vf.rkey,
+                                           Access.REMOTE_WRITE)
+        if region is None:
+            self._fallback(entry)
+            return
+        self.vx_hops += 1
+        rnic._rx_inflight -= 1
+        tally = leg.tally
+        tally[4] += 1
+        payload = lau.payload
+        qp.write_cursor_va = vf.va
+        qp.write_cursor_rkey = vf.rkey
+        qp.write_cursor_remaining = lau.dlen
+        if payload:
+            region.write(qp.write_cursor_va, payload)
+            qp.write_cursor_va += len(payload)
+            qp.write_cursor_remaining -= len(payload)
+        qp.expected_psn = psn_add(vf.psn, 1)
+        qp.msn = psn_add(qp.msn, 1)
+        rnic.host.notify_remote_write(
+            qp, vf.tmpl.bth.clone_rewrite(vf.psn, lau.ack_req), payload)
+        tally[5] += 1
+        syndrome = make_syndrome(
+            AethCode.ACK,
+            saturate_credits(_INITIAL_CREDITS - rnic._rx_inflight))
+        atmpl = ack_template(qp.tx_templates, rnic.gateway_mac, rnic.mac,
+                             rnic.ip, qp.remote_ip, leg.ack_sport,
+                             _ROCE_PORT, qp.remote_qpn)
+        if rnic.powered:  # a notify watcher may have crashed the host
+            busy = rnic._tx_busy_until
+            start = busy if busy > vt else vt
+            finish = start + _TX_GAP
+            rnic._tx_busy_until = finish
+            t = finish + _TX_LAT
+            avf = _VFrame()
+            avf.kind = 1
+            avf.leg = leg
+            avf.tmpl = atmpl
+            avf.psn = vf.psn
+            avf.syndrome = syndrome
+            avf.msn = qp.msn
+            avf.wire = atmpl.base.ipv4.total_length + _ETH_WRAP
+            avf.iport = None
+            # A watcher defusing mid-notify is _chain's generation branch:
+            # the ACK materializes into a real kernel event, as the
+            # lane-9 stage's explicit guard does.
+            self._chain(t, rnic._emit, (avf,), entry[4],
+                        self._v_ack_emit, leg)
+
+    def _v_ack_emit(self, vt: float, entry: tuple) -> None:
+        leg = entry[6]
+        avf = entry[3][0]
+        self.vx_hops += 1
+        tally = leg.tally
+        tally[6] += 1
+        link = leg.link
+        d = leg.dir_back
+        wire = avf.wire
+        busy = d.busy_until
+        start = busy if busy > vt else vt
+        on_wire = wire if wire > _MIN_FRAME else _MIN_FRAME
+        finish = start + (on_wire + _WIRE_OVERHEAD) * 8 * 1e9 / link.rate_bps
+        d.busy_until = finish
+        tally[7] += 1
+        tally[8] += wire
+        tap = link.tap
+        if tap is not None:
+            tap.absorb_ack(avf.tmpl, avf.psn & PSN_MASK,
+                           (avf.syndrome << 24) | (avf.msn & PSN_MASK), vt)
+        self._chain(finish + link.propagation_ns, link._deliver,
+                    (d, avf), entry[4], self._v_ack_arrive, leg)
+
+    def _v_ack_arrive(self, vt: float, entry: tuple) -> None:
+        leg = entry[6]
+        avf = entry[3][1]
+        self.vx_hops += 1
+        path = leg.path
+        sw = path.switch
+        idx = leg.out_port
+        leg.tally[9] += 1
+        pbusy = sw._ingress_parser_busy
+        busy = pbusy[idx]
+        start = busy if busy > vt else vt
+        done = start + path.pgap
+        pbusy[idx] = done
+        avf.iport = idx
+        self._push_hop(done, sw._run_ingress, (idx, avf),
+                       entry[4], self._v_gather_ingress, leg)
+
+    def _v_gather_ingress(self, vt: float, entry: tuple) -> None:
+        # Twin of _x_gather_ingress with staged register arithmetic:
+        # NumRecv counts and the credit fold run on the path's stage
+        # (reads fall through to the cells), landing as slabs at flush.
+        # Virtual ACKs always carry make_syndrome(ACK, credits), so the
+        # NAK branch is unreachable by construction.  At the threshold
+        # the forwarded ACK materializes and rides the lane-9 tail.
+        leg = entry[6]
+        path = leg.path
+        avf = entry[3][1]
+        fc = path.fc
+        cached = fc._cache.get(leg.gather_key)
+        if cached is None or cached[0] != _K_GATHER:
+            self._fallback(entry)
+            return
+        self.vx_hops += 1
+        sw = path.switch
+        token = sw._next_packet_token
+        sw._next_packet_token = token + 1
+        vst = self._stage(path)
+        vst.g_hits += 1
+        vst.g_tabs = cached[2]
+        vst.g_tab_n += 1
+        pre = cached[1]  # _GatherPre
+        syndrome = avf.syndrome
+        leader_psn = (avf.psn - pre.psn_offset) & PSN_MASK
+        vst.g_gathered += 1
+        own = syndrome & 0x1F
+        if path.credit_agg:
+            gi = pre.group_index
+            cv = vst.cv
+            if cv is None:
+                cv = vst.cv = [None] * len(path.credit_regs)
+                vst.gi = gi
+            minimum = EMPTY_CREDIT
+            slot = 0
+            own_slot = pre.credit_slot
+            cdirty = vst.cdirty
+            for reg in path.credit_regs:
+                if slot == own_slot:
+                    cv[slot] = value = own & reg.mask
+                    cdirty.add(slot)
+                else:
+                    value = cv[slot]
+                    if value is None:
+                        value = cv[slot] = int(reg._cells[gi])
+                if value < minimum:
+                    minimum = value
+                slot += 1
+        else:
+            minimum = own
+        nr = vst.nr
+        nslot = pre.numrecv_base + leader_psn % _NUMRECV_SLOTS
+        cur = nr.get(nslot)
+        if cur is None:
+            cur = int(path.numrecv_cells[nslot])
+        count = cur + 1
+        nr[nslot] = count & path.numrecv_mask
+        if count != pre.ack_threshold:
+            # Surplus (or early) ACK: counted and dropped in ingress.
+            leg.tally[10] += 1
+            return
+        prog = path.program
+        prog.forwarded_acks += 1
+        ack = self._materialize(avf)
+        ack.meta["packet_token"] = token
+        upper = ack._upper
+        prog._rewrite_to_leader(ack, upper[0], upper[1], leader_psn, pre,
+                                minimum)
+        out = path.leader_in_port
+        tm = vt + path.half_pipe
+        ebusy = sw._egress_parser_busy
+        busy = ebusy[out]
+        start = busy if busy > tm else tm
+        done = start + path.pgap
+        ebusy[out] = done
+        self._push_hop(done, sw._run_egress, (out, 0, ack),
+                       entry[4], self._x_gather_egress, path)
+
+    # ------------------------------------------------------------------
     # Path resolution
     # ------------------------------------------------------------------
 
@@ -1064,6 +1901,12 @@ class FlightPlanner:
         path.credit_regs = program.credits
         path.credit_agg = program.credit_aggregation
         path.stamp = program.recompute_icrc
+        # Lane 12 engages on super-fused, template-stamping paths (the
+        # virtual ICRC algebra needs the stamped template install); the
+        # flag is re-read per flight in try_fuse.
+        path.vx = bool(self._superfuse and program.recompute_icrc
+                       and fastlane.flags.columnar_express)
+        path.vst = _VStage()
         path.half_pipe = switch.pipeline_latency_ns * 0.5
         path.pgap = switch.parser_gap_ns
         path.est_dur = 20000.0
@@ -1116,6 +1959,7 @@ class FlightPlanner:
             leg.aggr_qpn = rqp.remote_qpn
             leg.ack_sport = 49152 + (rqp.qpn & 0x3FF)
             leg.gather_key = (rqp.remote_qpn, _OP_ACK)
+            leg.tally = [0] * _TALLY_N
             legs.append(leg)
             watched.append(rlink)
             watched.append(rnic)
@@ -1130,5 +1974,12 @@ class FlightPlanner:
         for reg in program.credits:
             reg._flight_watch = self
         switch.multicast._flight_watch = self
+        # Register the path's digest taps for hold/flush at drain
+        # boundaries (one shared tap per cluster in practice).
+        dtaps = self._dtaps
+        for tlink in (link, *(leg.link for leg in legs)):
+            tap = tlink.tap
+            if type(tap) is DigestTap and not any(t is tap for t in dtaps):
+                dtaps.append(tap)
         path.epoch = self._epoch
         return path

@@ -585,6 +585,11 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            planner = self._flight_planner
+            if planner is not None and planner._vactive:
+                # Deferred lane-12 columnar state lands before the caller
+                # can read registers or counters between runs.
+                planner.flush_columnar()
 
     def run_until(self, predicate: Callable[[], bool], timeout: float,
                   check_every: Optional[float] = None) -> bool:
@@ -606,21 +611,26 @@ class Simulator:
                     # check_every-sized steps) is the only honest answer.
                     return predicate()
             return predicate()
-        while self._now <= deadline:
-            if predicate():
-                return True
-            event = self._pop_due(deadline)
-            if event is None:
-                if (self._soon or self._heap_len > self._tombstones
-                        or self._flight_queue):
-                    # Next event (or fused hop) lies beyond the deadline.
-                    self._now = deadline
-                    return predicate()
-                break
-            self._execute(event)
-        if not predicate() and self._now < deadline:
-            self._now = deadline
-        return predicate()
+        try:
+            while self._now <= deadline:
+                if predicate():
+                    return True
+                event = self._pop_due(deadline)
+                if event is None:
+                    if (self._soon or self._heap_len > self._tombstones
+                            or self._flight_queue):
+                        # Next event (or fused hop) lies beyond the deadline.
+                        self._now = deadline
+                        return predicate()
+                    break
+                self._execute(event)
+            if not predicate() and self._now < deadline:
+                self._now = deadline
+            return predicate()
+        finally:
+            planner = self._flight_planner
+            if planner is not None and planner._vactive:
+                planner.flush_columnar()
 
 
 class ShardedKernel:

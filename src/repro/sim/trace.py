@@ -63,19 +63,29 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
 
+    def _matching(self, component: Optional[str],
+                  event: Optional[str]):
+        """Lazy record filter shared by :meth:`filter` and :meth:`count`."""
+        if component is None and event is None:
+            return iter(self.records)
+        return (r for r in self.records
+                if (component is None or r.component == component)
+                and (event is None or r.event == event))
+
     def filter(self, component: Optional[str] = None,
                event: Optional[str] = None) -> List[TraceRecord]:
-        """Records matching the given component and/or event name."""
-        out = self.records
-        if component is not None:
-            out = [r for r in out if r.component == component]
-        if event is not None:
-            out = [r for r in out if r.event == event]
-        return list(out)
+        """Records matching the given component and/or event name.
+
+        Always returns a fresh list (callers mutate it freely), built in
+        a single pass -- no intermediate per-criterion copies.
+        """
+        return list(self._matching(component, event))
 
     def count(self, component: Optional[str] = None,
               event: Optional[str] = None) -> int:
-        return len(self.filter(component, event))
+        if component is None and event is None:
+            return len(self.records)
+        return sum(1 for _ in self._matching(component, event))
 
 
 class NullTracer(Tracer):

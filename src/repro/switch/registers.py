@@ -121,13 +121,22 @@ class Register:
         return int(self._cells[index])
 
     def cp_write(self, index: int, value: int) -> None:
+        watch = self._flight_watch
+        if watch is not None:
+            # Staged columnar data-plane deltas (lane 12) represent
+            # operations that already happened *before* this control-plane
+            # write; land them first so the CP value wins, exactly as it
+            # would in the slow lane's memory order.
+            watch.flush_columnar()
         self._cells[index] = value & self.mask
         self.cp_epoch += 1
-        watch = self._flight_watch
         if watch is not None:
             watch.on_cp_write(self)
 
     def cp_fill(self, value: int) -> None:
+        watch = self._flight_watch
+        if watch is not None:
+            watch.flush_columnar()
         fill = value & self.mask
         if self.backend == "numpy":
             self._cells[:] = fill
@@ -135,9 +144,29 @@ class Register:
             for i in range(self.size):
                 self._cells[i] = fill
         self.cp_epoch += 1
-        watch = self._flight_watch
         if watch is not None:
             watch.on_cp_write(self)
+
+    def dp_scatter(self, indices, values) -> None:
+        """Apply a batch of data-plane cell writes as one slab operation.
+
+        Lane 12's columnar flush uses this to land a drain's worth of
+        staged RMW results (NumRecv resets and counts, credit cells) in
+        one vectorized fancy-index assignment on the array backend, or a
+        plain loop on the list backend.  Values are masked here so
+        callers can stage raw ints.  This is a *data-plane* path: it does
+        not bump ``cp_epoch`` and bypasses the per-packet access guard,
+        exactly like the express stages' direct cell writes it batches.
+        """
+        mask = self.mask
+        cells = self._cells
+        if self.backend == "numpy" and len(indices) > 2:
+            cells[_np.fromiter(indices, dtype=_np.int64, count=len(indices))] = \
+                _np.fromiter((v & mask for v in values), dtype=_np.int64,
+                             count=len(values))
+        else:
+            for index, value in zip(indices, values):
+                cells[index] = value & mask
 
     def window(self, base: int, length: int) -> "RegisterWindow":
         """A bounds-checked view over ``[base, base+length)``.
@@ -203,6 +232,9 @@ class RegisterWindow:
         epochs for equality).
         """
         register = self.register
+        watch = register._flight_watch
+        if watch is not None:
+            watch.flush_columnar()
         fill = value & register.mask
         base = self.base
         if register.backend == "numpy":
@@ -260,6 +292,12 @@ class RegisterAction:
             raise IndexError(
                 f"register {register.name!r}: index {index} out of range "
                 f"0..{register.size - 1}")
+        watch = register._flight_watch
+        if watch is not None and watch._vactive:
+            # Staged columnar deltas (lane 12) are older data-plane
+            # operations; land them before this packet's RMW reads the
+            # cell, restoring slow-lane memory order.
+            watch.flush_columnar()
         if register._accessed_this_packet and register._current_packet is not None:
             raise RegisterAccessError(
                 f"register {register.name!r}: second access in one packet pass "

@@ -17,21 +17,20 @@ Drivers:
 
 from __future__ import annotations
 
-import hashlib
-import struct
 import time
 from typing import Callable, Dict, List, Optional
 
 from .. import fastlane, params
 from ..consensus import Cluster, ClusterConfig, Role, ShardedCluster, SwitchFabric
 from ..sim import ShardedKernel
+from ..sim.columnar import DigestTap
 from .metrics import LatencyRecorder, ThroughputWindow
 
 MS = 1_000_000
 US = 1_000
 
 
-def install_trace_digest(cluster) -> "hashlib._Hash":
+def install_trace_digest(cluster) -> "DigestTap":
     """Hash every frame accepted by every link (bytes + ICRC + time).
 
     Every cable in the star topology has one end at a switch, so walking
@@ -40,17 +39,14 @@ def install_trace_digest(cluster) -> "hashlib._Hash":
     changes it.  Lives here (not in the bench harness) because the
     sharded runner's worker processes must compute the identical digest
     from an importable, picklable entry point.
+
+    Returns a :class:`repro.sim.columnar.DigestTap` rather than a bare
+    hash object: the tap buffers frames (real ones packed eagerly,
+    lane 12's virtual ones as template+word tuples) and renders them in
+    batches, producing the bit-identical SHA-256 stream.  Callers keep
+    using ``hexdigest()`` exactly as before.
     """
-    digest = hashlib.sha256()
-    sim = cluster.sim
-    update = digest.update
-    pack_meta = struct.Struct("!dI").pack
-
-    def tap(src, packet):
-        update(packet.pack())
-        icrc = packet.meta.get("icrc")
-        update(pack_meta(sim._now, 0 if icrc is None else icrc))
-
+    tap = DigestTap(cluster.sim)
     switches = [cluster.switch]
     if cluster.backup_switch is not None:
         switches.append(cluster.backup_switch)
@@ -58,7 +54,7 @@ def install_trace_digest(cluster) -> "hashlib._Hash":
         for port in switch.ports:
             if port.link is not None:
                 port.link.tap = tap
-    return digest
+    return tap
 
 
 def build_cluster(protocol: str, num_replicas: int, *,

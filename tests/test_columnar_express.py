@@ -1,0 +1,145 @@
+"""Columnar express kernels (fast lane 12) fidelity, property-based.
+
+Hypothesis draws random run shapes -- closed-loop window depth, doorbell
+batching on/off, and an optional mid-run link fault at a random time
+with a random outage -- and each drawn scenario runs three times:
+
+* **columnar** -- the full fast stack, lane 12 batching clean super-fused
+  runs into column operations and bulk-hashing the wire digest;
+* **per-hop** -- lanes 1-11 (the ``_x_*`` express stages replay every hop
+  individually; lane 12 off), the reference lane 12 must match hop for
+  hop;
+* **slow** -- all lanes off, every event through the heap.
+
+All three must agree on every observable: the SHA-256 wire-trace digest
+(bytes + ICRC + timestamp of every frame on every link), the commit and
+executed-event counts, the final register slabs (NumRecv and the credit
+registers, cell for cell), and the *counter timeline* -- the device-wide
+switch counter slab and register slabs sampled at every ``run_for``
+barrier, so staged columnar state that leaked across a barrier (instead
+of landing at the kernel-exit flush) is caught at the slice where it
+first diverges, not just at the end.
+
+The whole matrix runs on both register backends: the numpy array backend
+and the pure-python list backend (``registers.NUMPY`` flipped, as
+``REPRO_NO_NUMPY=1`` would), since lane 12 has distinct column kernels
+for each.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import fastlane
+from repro.faults.injector import FaultSchedule
+from repro.switch import registers
+from repro.workloads.experiments import (
+    ClosedLoopDriver, build_cluster, install_trace_digest)
+
+MS = 1_000_000
+
+#: run_for slice length: short enough that several barriers land inside
+#: the run (each one a kernel-exit columnar flush point), long enough to
+#: keep the matrix fast.
+_SLICE_NS = 0.1 * MS
+_SLICES = 4
+
+
+def _register_slabs(cluster):
+    """Every stateful-register cell as plain ints (both backends)."""
+    program = cluster.switch.program
+    slabs = [[int(v) for v in program.numrecv._cells]]
+    for reg in program.credits:
+        slabs.append([int(v) for v in reg._cells])
+    return slabs
+
+
+def _run(lane: str, *, batching: bool, window: int, fault_at_ns,
+         fault_outage_ns) -> dict:
+    """One seeded run of the drawn scenario under one lane setting."""
+    fastlane.flags.set_all(lane != "slow")
+    fastlane.flags.columnar_express = (fastlane.flags.columnar_express
+                                       and lane == "columnar")
+    fastlane.reset_columnar()
+    try:
+        cluster = build_cluster("p4ce", 2, value_size=64, seed=7,
+                                batching=batching)
+        # The DigestTap (not a bare hash closure): lane 12 only engages
+        # when every tap on the path can absorb virtual frames; a
+        # foreign tap demands real frames and forces lane 9.
+        digest = install_trace_digest(cluster)
+        leader = cluster.await_ready()
+        driver = ClosedLoopDriver(cluster, 64, window=window)
+        driver.start()
+        if fault_at_ns is not None:
+            schedule = FaultSchedule(cluster)
+            schedule.at_ns(fault_at_ns).partition_host(leader.node_id, False)
+            schedule.at_ns(fault_at_ns + fault_outage_ns).heal_host(
+                leader.node_id)
+            schedule.arm()
+        timeline = []
+        for _ in range(_SLICES):
+            cluster.run_for(_SLICE_NS)
+            # A run_for barrier is a kernel-exit columnar flush: staged
+            # lane-12 state must be indistinguishable from the slow
+            # lane's live writes here, mid-run.
+            timeline.append((cluster.switch.counter_totals(),
+                             _register_slabs(cluster)))
+        driver.stop()
+        return {
+            "digest": digest.hexdigest(),
+            "commits": driver.commits,
+            "events": cluster.sim.events_executed,
+            "timeline": timeline,
+            "slabs": _register_slabs(cluster),
+            "hops_batched": fastlane.columnar["hops_batched"],
+        }
+    finally:
+        fastlane.enable()
+
+
+_scenarios = st.fixed_dictionaries({
+    "batching": st.booleans(),
+    "window": st.sampled_from((4, 32, 128)),
+    # None -> a clean run; otherwise cut the leader's primary cable at a
+    # random time and heal it after a random outage, so defusion, the
+    # slow-path recovery, and re-engagement land at arbitrary points of
+    # the super-fused window (including mid-drain fallbacks).
+    "fault": st.one_of(
+        st.none(),
+        st.tuples(st.integers(50_000, 250_000),
+                  st.integers(20_000, 120_000))),
+})
+
+
+@pytest.mark.parametrize("backend", ["numpy", "list"])
+@settings(max_examples=6, deadline=None)
+@given(scenario=_scenarios)
+def test_columnar_matches_perhop_and_slow_lanes(backend, scenario):
+    if backend == "numpy" and not registers.NUMPY:
+        pytest.skip("numpy backend unavailable (REPRO_NO_NUMPY or missing)")
+    saved = registers.NUMPY
+    registers.NUMPY = backend == "numpy" and saved
+    try:
+        fault = scenario["fault"]
+        kwargs = dict(batching=scenario["batching"],
+                      window=scenario["window"],
+                      fault_at_ns=None if fault is None else fault[0],
+                      fault_outage_ns=None if fault is None else fault[1])
+        columnar = _run("columnar", **kwargs)
+        perhop = _run("perhop", **kwargs)
+        slow = _run("slow", **kwargs)
+    finally:
+        registers.NUMPY = saved
+    for key in ("digest", "commits", "events", "slabs", "timeline"):
+        assert columnar[key] == perhop[key], key
+        assert columnar[key] == slow[key], key
+    if fault is None and scenario["window"] >= 32:
+        # A deep clean run must actually exercise the columnar kernels,
+        # or the equalities above prove nothing about lane 12 (shallow
+        # windows may never pipeline enough flights for the super-fused
+        # drain to form a batchable run).
+        assert columnar["hops_batched"] > 0
+        assert perhop["hops_batched"] == 0

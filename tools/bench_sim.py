@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Calibrated simulator-throughput harness (and fast-lane proof).
 
-Runs each workload four times -- fast lanes on (:mod:`repro.fastlane`
-defaults, including lane-11 window super-fusion), fast with super-fusion
-off (lanes 1-9, for lane-11 attribution), fast with flight fusion off
-entirely (lanes 1-8, for lane-9 attribution), and all lanes off (the
-seed-equivalent reference path) -- and measures **simulator events per
-second** and wall clock.
+Runs each workload five times -- fast lanes on (:mod:`repro.fastlane`
+defaults, including lane-12 columnar express kernels), fast with the
+columnar kernels off (lanes 1-11, for lane-12 attribution), fast with
+super-fusion off (lanes 1-9, for lane-11 attribution), fast with flight
+fusion off entirely (lanes 1-8, for lane-9 attribution), and all lanes
+off (the seed-equivalent reference path) -- and measures **simulator
+events per second** and wall clock.
 
 The interesting output is not only the speedup: the harness *proves* the
 fast lanes are behaviour-preserving by asserting, between the lanes:
@@ -95,13 +96,15 @@ WORKLOADS = {
 }
 
 #: The lane settings compared per workload: (name, lanes on, flight
-#: fusion on, window super-fusion on).  ``fast_no_superfusion`` isolates
-#: lane 11's contribution (lanes 1-9 on); ``fast_no_fusion`` isolates
-#: lane 9's (lanes 1-8 on).
-_LANES = (("fast", True, True, True),
-          ("fast_no_superfusion", True, True, False),
-          ("fast_no_fusion", True, False, False),
-          ("slow", False, False, False))
+#: fusion on, window super-fusion on, columnar express on).
+#: ``fast_no_vectorexpress`` isolates lane 12's contribution (lanes 1-11
+#: on); ``fast_no_superfusion`` isolates lane 11's (lanes 1-9 on);
+#: ``fast_no_fusion`` isolates lane 9's (lanes 1-8 on).
+_LANES = (("fast", True, True, True, True),
+          ("fast_no_vectorexpress", True, True, True, False),
+          ("fast_no_superfusion", True, True, False, False),
+          ("fast_no_fusion", True, False, False, False),
+          ("slow", False, False, False, False))
 
 
 #: Group counts swept by the ``group_scaling`` workload.
@@ -121,9 +124,9 @@ SCALING_SPEC = dict(protocol="p4ce", replicas=2, value_size=64, window=128,
 
 #: Lane settings compared per group count in the serial placement:
 #: every shard must produce bit-identical digests in all three.
-_SCALING_LANES = (("fast", True, True, True),
-                  ("fast_no_superfusion", True, True, False),
-                  ("slow", False, False, False))
+_SCALING_LANES = (("fast", True, True, True, True),
+                  ("fast_no_superfusion", True, True, False, False),
+                  ("slow", False, False, False, False))
 
 
 #: The serving tier: a modeled million-client open-loop fleet (Poisson
@@ -246,13 +249,17 @@ def check_serving(serving: dict, *, quick: bool) -> list:
 
 
 def run_lane(spec: dict, lane_name: str, lane_on: bool, fusion_on: bool,
-             superfusion_on: bool, warmup_ns: float, window_ns: float,
+             superfusion_on: bool, vectorexpress_on: bool,
+             warmup_ns: float, window_ns: float,
              profile: bool = False) -> dict:
     """One workload, one lane setting, one fresh cluster."""
     fastlane.flags.set_all(lane_on)
     fastlane.flags.flight_fusion = lane_on and fusion_on
     fastlane.flags.window_superfusion = (lane_on and fusion_on
                                          and superfusion_on)
+    fastlane.flags.columnar_express = (lane_on and fusion_on
+                                       and superfusion_on and vectorexpress_on)
+    fastlane.reset_columnar()
     try:
         cluster = build_cluster(spec["protocol"], spec["replicas"],
                                 value_size=spec["value_size"],
@@ -349,15 +356,15 @@ def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
     drifts in machine load hit every lane alike instead of biasing
     whichever lane happened to run last.
     """
-    lanes = {lane_name: None for lane_name, _, _, _ in _LANES}
+    lanes = {lane_name: None for lane_name, _, _, _, _ in _LANES}
     failures = []
     for repeat in range(repeats):
-        for lane_name, lane_on, fusion_on, superfusion_on in _LANES:
+        for lane_name, lane_on, fusion_on, superfusion_on, vx_on in _LANES:
             # Profile only the first repeat of each lane: the hot spots do
             # not change between repeats, and the profiler's overhead would
             # poison every repeat's wall clock otherwise.
             result = run_lane(spec, lane_name, lane_on, fusion_on,
-                              superfusion_on, warmup_ns, window_ns,
+                              superfusion_on, vx_on, warmup_ns, window_ns,
                               profile=profile and repeat == 0)
             best = lanes[lane_name]
             if best is None:
@@ -372,7 +379,8 @@ def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
                             f"({best[key]!r} vs {result[key]!r})")
                 if result["wall_clock_s"] < best["wall_clock_s"]:
                     lanes[lane_name] = result
-    for lane_name in ("fast_no_superfusion", "fast_no_fusion", "slow"):
+    for lane_name in ("fast_no_vectorexpress", "fast_no_superfusion",
+                      "fast_no_fusion", "slow"):
         for key in _DETERMINISM_KEYS:
             if lanes["fast"][key] != lanes[lane_name][key]:
                 failures.append(
@@ -382,6 +390,7 @@ def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
     fast, slow = lanes["fast"], lanes["slow"]
     no_fusion = lanes["fast_no_fusion"]
     no_super = lanes["fast_no_superfusion"]
+    no_vx = lanes["fast_no_vectorexpress"]
     if spec.get("fault") is not None:
         # The fault point must actually exercise the engage/disengage
         # machinery, not just survive it.
@@ -411,9 +420,13 @@ def run_workload(name: str, spec: dict, *, warmup_ns: float, window_ns: float,
         # Lane 11's own contribution: full fast stack vs lanes 1-9 only.
         "speedup_vs_no_superfusion": (fast["events_per_sec"]
                                       / no_super["events_per_sec"]),
+        # Lane 12's own contribution: full fast stack vs lanes 1-11 only.
+        "speedup_vs_no_vectorexpress": (fast["events_per_sec"]
+                                        / no_vx["events_per_sec"]),
         "deterministic": not failures,
         "determinism_failures": failures,
         "fast": fast,
+        "fast_no_vectorexpress": no_vx,
         "fast_no_superfusion": no_super,
         "fast_no_fusion": no_fusion,
         "slow": slow,
@@ -455,7 +468,8 @@ def run_group_scaling(groups, *, warmup_ns: float, window_ns: float,
         # every event through the heap.
         lane_serial = {}
         fast_specs = None
-        for lane_name, lane_on, fusion_on, superfusion_on in _SCALING_LANES:
+        for (lane_name, lane_on, fusion_on, superfusion_on,
+             vx_on) in _SCALING_LANES:
             lane_specs = group_scaling_specs(
                 num_groups, replicas=spec["replicas"],
                 value_size=spec["value_size"], window=spec["window"],
@@ -465,6 +479,8 @@ def run_group_scaling(groups, *, warmup_ns: float, window_ns: float,
                     "flight_fusion": lane_on and fusion_on,
                     "window_superfusion": (lane_on and fusion_on
                                            and superfusion_on),
+                    "columnar_express": (lane_on and fusion_on
+                                         and superfusion_on and vx_on),
                 })
             if lane_name == "fast":
                 fast_specs = lane_specs
@@ -532,7 +548,7 @@ def run_group_scaling(groups, *, warmup_ns: float, window_ns: float,
             "counters_match": counters_match,
             "serial_wall_by_lane": {
                 lane_name: lane_serial[lane_name]["wall_clock_s"]
-                for lane_name, _, _, _ in _SCALING_LANES},
+                for lane_name, _, _, _, _ in _SCALING_LANES},
             "serial": serial,
             "parallel": parallel,
         }
@@ -547,7 +563,7 @@ def run_group_scaling(groups, *, warmup_ns: float, window_ns: float,
         # produce the identical digest, proving the sharded placement
         # machinery is invisible on the wire.
         print("[group_scaling] G=1 parity: unsharded reference run...")
-        reference = run_lane(spec, "fast", True, True, True,
+        reference = run_lane(spec, "fast", True, True, True, True,
                              warmup_ns, window_ns)
         shard0 = out["groups"]["1"]["serial"]["shards"][0]["trace_digest"]
         parity = reference["trace_digest"] == shard0
@@ -578,7 +594,7 @@ def main(argv=None) -> int:
                         help="short windows and one repeat (CI smoke)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per lane (default: 3, quick: 1)")
-    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_6.json",
+    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_7.json",
                         help="where to write the JSON report")
     parser.add_argument("--workload",
                         choices=sorted(WORKLOADS) + ["group_scaling",
@@ -627,8 +643,9 @@ def main(argv=None) -> int:
     }
     ok = True
     for name in names:
-        print(f"[{name}] running fast + no-superfusion + no-fusion + slow "
-              f"lanes ({repeats} repeat(s), {window_ns / MS:g} ms window)...")
+        print(f"[{name}] running fast + no-vectorexpress + no-superfusion + "
+              f"no-fusion + slow lanes ({repeats} repeat(s), "
+              f"{window_ns / MS:g} ms window)...")
         result = run_workload(name, WORKLOADS[name], warmup_ns=warmup_ns,
                               window_ns=window_ns, repeats=repeats,
                               profile=args.profile)
@@ -636,8 +653,11 @@ def main(argv=None) -> int:
         fast, slow = result["fast"], result["slow"]
         nofu = result["fast_no_fusion"]
         nosf = result["fast_no_superfusion"]
+        novx = result["fast_no_vectorexpress"]
         print(f"  fast:          {fast['events_per_sec'] / 1e3:8.1f}k events/s  "
               f"wall={fast['wall_clock_s']:.2f}s  events={fast['events_executed']}")
+        print(f"  no-vectorexp:  {novx['events_per_sec'] / 1e3:8.1f}k events/s  "
+              f"wall={novx['wall_clock_s']:.2f}s")
         print(f"  no-superfuse:  {nosf['events_per_sec'] / 1e3:8.1f}k events/s  "
               f"wall={nosf['wall_clock_s']:.2f}s")
         print(f"  no-fusion:     {nofu['events_per_sec'] / 1e3:8.1f}k events/s  "
@@ -646,6 +666,7 @@ def main(argv=None) -> int:
               f"wall={slow['wall_clock_s']:.2f}s")
         flight = fast["flight"]
         print(f"  speedup(fast/slow) = {result['speedup_vs_slow_lane']:.2f}x  "
+              f"lane12 alone = {result['speedup_vs_no_vectorexpress']:.2f}x  "
               f"lane11 alone = {result['speedup_vs_no_superfusion']:.2f}x  "
               f"lane9+11 = {result['speedup_vs_no_fusion']:.2f}x   "
               f"consensus = {fast['ops_per_sec'] / 1e6:.2f} M/s")
@@ -659,6 +680,12 @@ def main(argv=None) -> int:
               f"{flight['max_run_len']} hops, "
               f"{flight['batch_splits']} batch splits   "
               f"vectorized = {fast['fastlane']['vectorized']}")
+        col = fast["fastlane"]["columnar"]
+        print(f"  lane12: {col['runs_vectorized']} columnar drains, "
+              f"{col['hops_batched']} hops batched, "
+              f"{col['frames_bulk_hashed']} frames bulk-hashed, "
+              f"{col['columnar_fallbacks']} fallbacks, "
+              f"{col['digest_flushes']} digest flushes")
         if result["deterministic"]:
             print("  determinism: OK (events, metrics, trace digest identical)")
         else:
