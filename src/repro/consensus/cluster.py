@@ -268,6 +268,16 @@ class Cluster:
         self.members[node_id].stop()
         self.hosts[node_id].crash()
 
+    def restart_app(self, node_id: int) -> None:
+        """Restart a killed consensus process; it rejoins the group
+        through the leader's catch-up + group-rebuild path."""
+        self.members[node_id].restart()
+
+    def revive_host(self, node_id: int) -> None:
+        """Power a crashed machine back on and restart its process."""
+        self.hosts[node_id].revive()
+        self.members[node_id].restart()
+
     def crash_switch(self) -> None:
         """Power off the programmable switch: every in-flight packet on
         the primary network is lost."""

@@ -99,6 +99,7 @@ class HeartbeatService:
         self._cq.on_completion = self._on_completion
         self._scratch = host.reg_mr(4096, Access.LOCAL_WRITE, "hb-scratch")
         self._scratch_used = 0
+        self._scratch_free: List[int] = []
         self._wr_paths: Dict[int, "tuple[PeerLiveness, HeartbeatPath]"] = {}
         self._wr_oneshots: Dict[int, "tuple[HeartbeatPath, Callable]"] = {}
         self._timer = PeriodicTimer(host.sim, period_ns, self._tick)
@@ -117,14 +118,35 @@ class HeartbeatService:
     def add_path(self, node_id: int, qp: QueuePair, nic: "RNic",
                  remote_va: int, r_key: int) -> None:
         peer = self.add_peer(node_id)
-        scratch_va = self._scratch.addr + self._scratch_used
-        self._scratch_used += 32
-        if self._scratch_used > self._scratch.length:
-            raise RuntimeError("heartbeat scratch exhausted")
+        if self._scratch_free:
+            scratch_va = self._scratch_free.pop()
+        else:
+            scratch_va = self._scratch.addr + self._scratch_used
+            self._scratch_used += 32
+            if self._scratch_used > self._scratch.length:
+                raise RuntimeError("heartbeat scratch exhausted")
         peer.paths.append(HeartbeatPath(qp, nic, remote_va, r_key, scratch_va))
         # Grace: a freshly-connected peer counts as live until it has had
         # a chance to be read.
         peer.last_progress = self.host.sim.now
+
+    def reset_paths(self) -> None:
+        """Forget every read route (used by a restarting member).
+
+        Liveness history is kept -- a peer that was live stays live until
+        its deadline lapses -- but all paths, their scratch slots and any
+        in-flight read bookkeeping are recycled.  Completions for
+        abandoned reads are silently dropped by :meth:`_on_completion`
+        (their wr_ids are no longer in the maps); the scratch slots are
+        only reused by a later ``add_path``, after the reconnect
+        handshake, by which time any straggler response has landed.
+        """
+        self._wr_paths.clear()
+        self._wr_oneshots.clear()
+        for peer in self.peers.values():
+            for path in peer.paths:
+                self._scratch_free.append(path.scratch_va)
+            peer.paths = []
 
     # -- lifecycle -----------------------------------------------------------------
 

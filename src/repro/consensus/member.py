@@ -116,6 +116,9 @@ class Member:
         self.hb.set_control_writer(self._write_control)
         self.hb.on_paths_dead = self._reconnect_control_paths
         self._control_reconnect_at: Dict[int, float] = {}
+        #: Per-peer earliest next direct-path reconnect (backoff after a
+        #: refused handshake).
+        self._direct_reconnect_at: Dict[int, float] = {}
 
         # Communication planes.
         self.direct = DirectReplicator(self)
@@ -148,6 +151,7 @@ class Member:
         self.on_apply: Optional[Callable] = None
         self._takeover_in_progress = False
         self._takeover_token = 0
+        self._candidate_epoch_base = 0
         self._switch_retry_timer = Timer(host.sim, self._retry_switch_path)
         self._reconnect_pending: Dict[int, str] = {}
         self._last_replica_set: "frozenset[int]" = frozenset()
@@ -230,6 +234,76 @@ class Member:
         self.role = Role.STOPPED
         self.hb.stop()
         self._switch_retry_timer.stop()
+
+    def restart(self) -> None:
+        """Rejoin the group after :meth:`stop` (or a full host crash).
+
+        The process comes back with its log intact (it lives in a
+        registered region; a crashed host re-registers the same memory)
+        but with no volatile state: no view, no in-flight entries, no
+        connections it can trust.  It reconnects its heartbeat mesh,
+        re-enters the view its first election tick picks, and lets the
+        leader's revived-straggler machinery (`_check_replica_set` ->
+        catch-up -> switch group rebuild) finish the rejoin -- that last
+        leg is the paper's 40 ms control-plane reconfiguration.
+
+        The heartbeat counter deliberately continues from its pre-stop
+        value: liveness is judged by *progress* (section III), so any
+        increase -- not a reset -- signals revival, and a reset could
+        otherwise read as a stale duplicate to peers that cached the old
+        counter.
+        """
+        if not self._stopped:
+            return
+        if not self.host.alive:
+            raise RuntimeError("restart() on a crashed host: revive it first")
+        self._stopped = False
+        self.role = Role.FOLLOWER
+        self.view_leader = None  # force _enter_view on the next tick
+        self._takeover_token += 1
+        self._takeover_in_progress = False
+        self.lease_until = 0.0
+        # Drop leader-side transients; their completions (if any are
+        # still in flight from a pre-stop leadership) are ignored by the
+        # wr-id maps we clear here.
+        self.inflight.clear()
+        self._batch_queue.clear()
+        self._batches_inflight = 0
+        self._queued.clear()
+        self._catchup.clear()
+        self._descriptor_watch.clear()
+        self._reconnect_pending.clear()
+        self._control_reconnect_at.clear()
+        self._direct_reconnect_at.clear()
+        self._last_replica_set = frozenset()
+        self.comm_mode = "switch" if self.config.protocol == "p4ce" else "direct"
+        # Our outbound planes: every QP we owned may be dead (host crash
+        # power-cycles the NIC) or stale; rebuild them all.
+        for node_id in list(self.direct.paths):
+            self.direct.drop_path(node_id)
+        self.direct._wr_entries.clear()
+        self.direct._connecting.clear()
+        if self.switch_rep is not None:
+            self.switch_rep._generation += 1  # supersede in-flight setup
+            self.switch_rep.state = SwitchState.IDLE
+            self.switch_rep.qp = None
+            self.switch_rep._wr_entries.clear()
+        # A crash loses the NIC's QP table, so the error callbacks were
+        # lost with it; re-attach them.
+        self.host.nic.on_qp_error = self._on_qp_error
+        self.host.nic.on_unhealable_nak = self._on_unhealable_nak
+        self.hb.reset_paths()
+        for info in self.peers.values():
+            self._connect_control_path(info, "primary")
+            if info.backup_ip is not None:
+                self._connect_control_path(info, "backup")
+        # Re-publish the control region (descriptor may be stale if a
+        # leader caught our log up while we were down and crashed-host
+        # writes raced the stop) and resume applying committed entries.
+        self._consume_and_apply()
+        self._update_descriptor()
+        self.hb.start(phase=self.node_id * 1_000)
+        self.stats.restarts += 1
 
     # ------------------------------------------------------------------
     # Control region
@@ -344,6 +418,17 @@ class Member:
     # -- follower side ---------------------------------------------------------
 
     def _become_follower(self, leader_id: int, was_leader: bool) -> None:
+        if self.role is Role.CANDIDATE and self._takeover_in_progress:
+            # Abandoned candidacy (e.g. a partitioned follower that
+            # declared for itself, then healed and found the real leader
+            # alive): the speculative epoch bump fenced nothing -- no
+            # entry was appended under it -- but keeping it would make
+            # this machine reject the sitting leader's log connections
+            # as "stale" forever.  Roll back to what the group actually
+            # agrees on.
+            self.epoch = max(self._candidate_epoch_base,
+                             self.hb.highest_seen_epoch())
+            self._update_descriptor()
         self.role = Role.FOLLOWER
         self._takeover_token += 1  # cancel any takeover in flight
         self._takeover_in_progress = False
@@ -409,7 +494,9 @@ class Member:
         self._takeover_in_progress = True
         self._takeover_token += 1
         token = self._takeover_token
-        self.epoch = max(self.epoch, self.hb.highest_seen_epoch()) + 1
+        self._candidate_epoch_base = max(self.epoch,
+                                         self.hb.highest_seen_epoch())
+        self.epoch = self._candidate_epoch_base + 1
         # A leader grants itself write permission locally -- and revokes
         # whatever the previous leader held on this machine's log.
         self._flip_permissions(self.primary_ip.value)
@@ -815,6 +902,8 @@ class Member:
             return
         if self._reconnect_pending.get(info.node_id) == route:
             return
+        if self.host.sim.now < self._direct_reconnect_at.get(info.node_id, 0.0):
+            return
         self._reconnect_pending[info.node_id] = route
         ip = info.primary_ip if route == "primary" else info.backup_ip
         nic = self.host.nic if route == "primary" else self.host.backup_nic
@@ -826,7 +915,14 @@ class Member:
         def done(ok: bool) -> None:
             self._reconnect_pending.pop(info.node_id, None)
             if ok:
+                self._direct_reconnect_at.pop(info.node_id, None)
                 self._flush_unquorate()
+            else:
+                # Each attempt serializes CONNECTION_SETUP_CPU_NS on the
+                # one-core CPU; retrying every heartbeat tick against a
+                # peer that keeps refusing would starve replication.
+                self._direct_reconnect_at[info.node_id] = (
+                    self.host.sim.now + params.CONNECTION_SETUP_CPU_NS)
 
         self.direct.connect_path(info.node_id, ip, route, nic, done,
                                  setup_cost=True)
@@ -839,19 +935,35 @@ class Member:
                 self.direct.replicate(entry)
 
     def _retry_switch_path(self) -> None:
-        """Periodically try to regain in-network acceleration."""
+        """Periodically try to regain in-network acceleration.
+
+        Covers two unhealthy shapes: the direct-mode fallback (regain
+        the switch plane), and a live group rebuild that failed while
+        the previous group kept serving (``comm_mode`` still "switch"
+        but the replicator is FAILED -- e.g. a healed partition where
+        the rebuilt group was rejected; nothing else would retry it).
+        """
         if self._stopped or self.role is not Role.LEADER \
-                or self.switch_rep is None or self.comm_mode == "switch":
+                or self.switch_rep is None:
             return
+        if self.comm_mode == "switch" \
+                and self.switch_rep.state != SwitchState.FAILED:
+            return  # healthy, or a rebuild is already in flight
         if not self.cluster.switch_alive():
             self._switch_retry_timer.start(self.config.switch_retry_period_ns)
             return
         replica_ips = [i.primary_ip for i in self._alive_replica_infos()]
+        if not replica_ips:
+            self._switch_retry_timer.start(self.config.switch_retry_period_ns)
+            return
 
         def on_group(ok: bool) -> None:
             if ok and self.role is Role.LEADER:
-                self.comm_mode = "switch"
-                self.stats.switch_recoveries += 1
+                if self.comm_mode != "switch":
+                    self.comm_mode = "switch"
+                    self.stats.switch_recoveries += 1
+                self.stats.group_reconfigs += 1
+                self.cluster.notify_group_reconfigured(self)
             else:
                 self._switch_retry_timer.start(self.config.switch_retry_period_ns)
 
@@ -906,6 +1018,13 @@ class Member:
                     if ok:
                         self.stats.group_reconfigs += 1
                         self.cluster.notify_group_reconfigured(self)
+                    else:
+                        # Rejected or timed out (a healed follower may
+                        # still fence on a failed-candidacy epoch for a
+                        # few ticks): the replica set won't change again,
+                        # so nothing re-issues this rebuild -- retry it.
+                        self._switch_retry_timer.start(
+                            self.config.switch_retry_period_ns)
                 self.switch_rep.setup(replica_ips, self.epoch, on_group)
 
     def _watch_descriptors(self, alive: List[int]) -> None:
@@ -991,6 +1110,7 @@ class MemberStats:
 
     def __init__(self) -> None:
         self.view_changes = 0
+        self.restarts = 0
         self.path_failures = 0
         self.switch_failures = 0
         self.switch_recoveries = 0

@@ -1,5 +1,36 @@
 """Failure injection for experiments and robustness tests."""
 
-from .injector import FaultInjector, FaultRecord, FaultSchedule
+from .injector import FaultInjector, FaultRecord, FaultSchedule, replay_records
+from .scenarios import (
+    REJOIN_RECOVERY_BOUND_NS,
+    ChaosController,
+    ControlPlaneRestart,
+    CorrelatedCrash,
+    CreditStarve,
+    LeaderChurn,
+    LossyLink,
+    Overlay,
+    PartitionHeal,
+    ReplicaCrashRejoin,
+    Scenario,
+    Sequence,
+)
 
-__all__ = ["FaultInjector", "FaultRecord", "FaultSchedule"]
+__all__ = [
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSchedule",
+    "replay_records",
+    "REJOIN_RECOVERY_BOUND_NS",
+    "ChaosController",
+    "ControlPlaneRestart",
+    "CorrelatedCrash",
+    "CreditStarve",
+    "LeaderChurn",
+    "LossyLink",
+    "Overlay",
+    "PartitionHeal",
+    "ReplicaCrashRejoin",
+    "Scenario",
+    "Sequence",
+]

@@ -11,15 +11,32 @@ scripts declaratively:
     schedule.at_ms(80).revive_switch()
     schedule.arm()
 
-Every injected fault is recorded with its simulated time, so experiments
-can correlate observed behaviour (commit gaps, view changes) with the
-exact injection instants.
+Every injected fault is recorded with its simulated time.  Records come
+in two flavours:
+
+* **action** records (``action=True``) carry the primitive's name and
+  JSON-serializable arguments; re-invoking the primitive with those
+  arguments at the recorded time reproduces the injection exactly.
+  :func:`replay_records` does precisely that, which is what makes a
+  chaos run replayable bit-for-bit from its seed + journal.
+* **annotation** records (``action=False``) document context: macro
+  boundaries (``partition``/``heal``), migration windows, and explicit
+  ``noop`` markers where a primitive resolved no device (e.g. a backup
+  link on a host without a backup NIC) -- a chaos script can then detect
+  that it missed its target instead of silently doing nothing.
+
+Macros such as :meth:`FaultInjector.partition_host` decompose into
+per-device primitives (:meth:`~FaultInjector.cut_link`,
+:meth:`~FaultInjector.heal_link`), each with its own action record, so
+replay-from-journal mutates exactly the devices the original run did.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, TYPE_CHECKING
+import json
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
+from .. import params
 from ..net import Link
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,14 +44,30 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class FaultRecord:
-    """One injected fault."""
+    """One injected fault (or annotation)."""
 
-    __slots__ = ("time_ns", "kind", "target")
+    __slots__ = ("time_ns", "kind", "target", "args", "action")
 
-    def __init__(self, time_ns: float, kind: str, target: Any):
+    def __init__(self, time_ns: float, kind: str, target: Any,
+                 args: Optional[tuple] = None, action: bool = False):
         self.time_ns = time_ns
         self.kind = kind
         self.target = target
+        #: Positional arguments that reproduce the primitive (action
+        #: records only).
+        self.args = args
+        #: True when replaying ``kind(*args)`` at ``time_ns`` reproduces
+        #: the injection.
+        self.action = action
+
+    def to_dict(self) -> dict:
+        d = {"time_ns": self.time_ns, "kind": self.kind,
+             "target": list(self.target) if isinstance(self.target, tuple)
+             else self.target,
+             "action": self.action}
+        if self.action:
+            d["args"] = list(self.args or ())
+        return d
 
     def __repr__(self) -> str:
         return f"Fault({self.kind}, target={self.target}, t={self.time_ns / 1e6:.2f} ms)"
@@ -51,8 +84,31 @@ class FaultInjector:
         self._migration_arms: dict = {}
         self.migrations_seen = 0
 
-    def _record(self, kind: str, target: Any = None) -> None:
-        self.journal.append(FaultRecord(self.cluster.sim.now, kind, target))
+    def _record(self, kind: str, target: Any = None,
+                args: Optional[tuple] = None, action: bool = False) -> None:
+        self.journal.append(
+            FaultRecord(self.cluster.sim.now, kind, target, args, action))
+
+    def _noop(self, op: str, node_id: Any, backup: bool = False) -> None:
+        """Journal that a primitive resolved no device to act on."""
+        self._record("noop", (node_id, op, backup))
+
+    # -- journal export -------------------------------------------------------------
+
+    def journal_dicts(self, actions_only: bool = False) -> List[dict]:
+        return [r.to_dict() for r in self.journal
+                if r.action or not actions_only]
+
+    def journal_json(self, actions_only: bool = False) -> str:
+        """Machine-readable journal for the replay tool.
+
+        With ``actions_only`` the export contains exactly the records
+        :func:`replay_records` consumes -- the canonical form to compare
+        across lanes or between an original run and its replay (replays
+        do not re-emit macro annotations).
+        """
+        return json.dumps(self.journal_dicts(actions_only=actions_only),
+                          sort_keys=True)
 
     # Flight-fusion invalidation: every injected fault must disengage the
     # planner before its effects can race a fused flight.  The device
@@ -80,28 +136,54 @@ class FaultInjector:
     def kill_app(self, node_id: int) -> None:
         """Kill the consensus process; the NIC keeps answering one-sided
         operations (the paper's replica/leader failure mode)."""
-        self._record("kill_app", node_id)
+        self._record("kill_app", node_id, args=(node_id,), action=True)
         self.cluster.kill_app(node_id)
+
+    def restart_app(self, node_id: int) -> None:
+        """Restart a killed process; it rejoins via leader catch-up and
+        the 40 ms control-plane group rebuild."""
+        self._record("restart_app", node_id, args=(node_id,), action=True)
+        self.cluster.restart_app(node_id)
 
     def crash_host(self, node_id: int) -> None:
         """Power the machine off entirely."""
-        self._record("crash_host", node_id)
+        self._record("crash_host", node_id, args=(node_id,), action=True)
         self.cluster.crash_host(node_id)
         host = self.cluster.hosts[node_id]
         for nic in (host.nic, host.backup_nic):
             self._planner_fault(nic)
 
+    def revive_host(self, node_id: int) -> None:
+        """Power a crashed machine back on; its process restarts with a
+        cold NIC (all QPs lost) and rejoins the group."""
+        self._record("revive_host", node_id, args=(node_id,), action=True)
+        self.cluster.revive_host(node_id)
+        host = self.cluster.hosts[node_id]
+        for nic in (host.nic, host.backup_nic):
+            self._planner_heal(nic)
+
     # -- switch faults -------------------------------------------------------------
 
     def crash_switch(self) -> None:
-        self._record("crash_switch", "primary")
+        self._record("crash_switch", "primary", args=(), action=True)
         self.cluster.crash_switch()
         self._planner_fault(self.cluster.switch)
 
     def revive_switch(self) -> None:
-        self._record("revive_switch", "primary")
+        self._record("revive_switch", "primary", args=(), action=True)
         self.cluster.revive_switch()
         self._planner_heal(self.cluster.switch)
+
+    def restart_control_plane(self) -> None:
+        """Restart the switch-CPU control-plane application: dataplane
+        state survives, in-flight provisioning handshakes are lost."""
+        cp = getattr(self.cluster, "control_plane", None)
+        if cp is None:
+            self._noop("restart_control_plane", "switch-cpu")
+            return
+        self._record("restart_control_plane", "switch-cpu", args=(),
+                     action=True)
+        cp.restart()
 
     # -- link impairments -----------------------------------------------------------
 
@@ -116,31 +198,82 @@ class FaultInjector:
                  backup: bool = False) -> None:
         """Random packet loss on one host's cable."""
         link = self._host_link(node_id, backup)
-        if link is not None:
-            self._record("set_loss", (node_id, probability))
-            link.drop_probability = probability
-            if probability > 0.0:
-                self._planner_fault(link)
-            else:
-                self._planner_heal(link, still_faulty=not link.up)
+        if link is None:
+            self._noop("set_loss", node_id, backup)
+            return
+        self._record("set_loss", (node_id, probability),
+                     args=(node_id, probability, backup), action=True)
+        link.drop_probability = probability
+        if probability > 0.0:
+            self._planner_fault(link)
+        else:
+            self._planner_heal(link, still_faulty=not link.up)
+
+    def cut_link(self, node_id: int, backup: bool = False) -> None:
+        """Unplug one cable (the NIC stays up; the link goes dark)."""
+        link = self._host_link(node_id, backup)
+        if link is None:
+            self._noop("cut_link", node_id, backup)
+            return
+        self._record("cut_link", (node_id, backup),
+                     args=(node_id, backup), action=True)
+        link.set_down()
+        self._planner_fault(link)
+
+    def heal_link(self, node_id: int, backup: bool = False) -> None:
+        """Re-plug one cable and clear any injected loss on it."""
+        link = self._host_link(node_id, backup)
+        if link is None:
+            self._noop("heal_link", node_id, backup)
+            return
+        self._record("heal_link", (node_id, backup),
+                     args=(node_id, backup), action=True)
+        link.set_up()
+        link.drop_probability = 0.0
+        self._planner_heal(link)
 
     def partition_host(self, node_id: int, backup_too: bool = True) -> None:
-        """Unplug a host (its NICs stay up; the cables go dark)."""
+        """Unplug a host (its NICs stay up; the cables go dark).
+
+        A macro over :meth:`cut_link`: the ``partition`` record is an
+        annotation, the per-device ``cut_link`` records are what replay
+        consumes.
+        """
         self._record("partition", node_id)
         for backup in ((False, True) if backup_too else (False,)):
-            link = self._host_link(node_id, backup)
-            if link is not None:
-                link.set_down()
-                self._planner_fault(link)
+            self.cut_link(node_id, backup)
 
     def heal_host(self, node_id: int) -> None:
+        """Re-plug both cables; a macro over :meth:`heal_link`."""
         self._record("heal", node_id)
         for backup in (False, True):
-            link = self._host_link(node_id, backup)
-            if link is not None:
-                link.set_up()
-                link.drop_probability = 0.0
-                self._planner_heal(link)
+            self.heal_link(node_id, backup)
+
+    # -- NIC impairments ------------------------------------------------------------
+
+    def set_nic_rx_gap(self, node_id: int, gap_ns: float,
+                       backup: bool = False) -> None:
+        """Throttle (or restore) one NIC's RX pipeline.
+
+        Raising the per-packet gap starves the switch's credit window for
+        that endpoint -- the credit-exhaustion scenario; restoring it to
+        ``params.NIC_PACKET_GAP_NS`` heals.  Safe under flight fusion:
+        planning reads ``rx_gap_ns`` live and fused drains never run a
+        hop past the next real heap event, so arming the planner at the
+        mutation instant suffices.
+        """
+        host = self.cluster.hosts[node_id]
+        nic = host.backup_nic if backup else host.nic
+        if nic is None:
+            self._noop("set_nic_rx_gap", node_id, backup)
+            return
+        self._record("set_nic_rx_gap", (node_id, gap_ns),
+                     args=(node_id, gap_ns, backup), action=True)
+        nic.rx_gap_ns = gap_ns
+        if gap_ns > params.NIC_PACKET_GAP_NS:
+            self._planner_fault(nic)
+        else:
+            self._planner_heal(nic, still_faulty=not nic.powered)
 
     # -- migration-window fault point ----------------------------------------------
 
@@ -167,6 +300,45 @@ class FaultInjector:
         for offset_ns, action, args, kwargs in \
                 self._migration_arms.pop(self.migrations_seen, ()):
             self.cluster.sim.schedule(offset_ns, action, *args, **kwargs)
+
+    def leftover_migration_arms(self) -> Dict[int, List["tuple[float, str]"]]:
+        """Arms whose migration ordinal has not occurred (yet).
+
+        After a run ends this surfaces faults that never fired -- a chaos
+        script that armed ordinal 3 of a 2-move workload finds its
+        mistake here instead of in a silently fault-free run.
+        """
+        return {nth: [(offset_ns, action.__name__)
+                      for offset_ns, action, _args, _kwargs in arms]
+                for nth, arms in sorted(self._migration_arms.items())}
+
+
+def replay_records(injector: FaultInjector, records: List) -> int:
+    """Re-arm a recorded fault sequence against a fresh cluster.
+
+    ``records`` is a journal -- :class:`FaultRecord` objects or their
+    ``to_dict`` / ``journal_json`` dict forms.  Every action record is
+    scheduled at its absolute recorded time, in journal order (records
+    sharing an instant execute in their original relative order: the
+    event heap breaks time ties by insertion sequence).  Annotation
+    records are skipped -- macros were already decomposed into the
+    per-device actions that follow them.
+
+    Returns the number of actions armed.  Combined with an identically
+    seeded cluster and workload, the replayed run is bit-for-bit the
+    original: same wire traces, same digests.
+    """
+    sim = injector.cluster.sim
+    armed = 0
+    for rec in records:
+        if isinstance(rec, FaultRecord):
+            rec = rec.to_dict()
+        if not rec.get("action"):
+            continue
+        action = getattr(injector, rec["kind"])
+        sim.schedule_at(rec["time_ns"], action, *rec.get("args", ()))
+        armed += 1
+    return armed
 
 
 class _MigrationArm:

@@ -1,0 +1,415 @@
+"""Composable chaos scenarios over :class:`~repro.faults.FaultInjector`.
+
+A :class:`Scenario` is a named, parameterized failure pattern -- leader
+churn, replica crash + rejoin through the 40 ms control-plane group
+rebuild, lossy or partitioned cables, credit starvation, a control-plane
+restart mid-provisioning, correlated crashes across co-resident shards.
+Scenarios compose::
+
+    ReplicaCrashRejoin(down_ms=15) >> LeaderChurn(rounds=2)   # sequence
+    ReplicaCrashRejoin(hard=True) | ControlPlaneRestart(at_offset_ms=20)
+                                                              # overlay
+
+and target specific shards of a :class:`~repro.consensus.cluster
+.ShardedCluster` via their ``shard`` parameter.  A
+:class:`ChaosController` owns one injector per shard, arms a composed
+scenario at an absolute simulated time, and exports the merged journal.
+
+Replayability is the design center.  Scenarios only ever act through
+injector primitives, which journal action records (name + args + exact
+time); dynamic choices -- "kill whoever leads *now*" -- resolve at strike
+time and journal the resolved primitive, so
+:meth:`ChaosController.replay` reproduces the run on a fresh,
+identically-seeded cluster without re-running any decision logic.
+
+Strike times are skewed to ``round(t) + 0.375`` ns: heartbeat ticks,
+timeouts and packet events land on other fractional offsets, so a
+replayed action can never tie -- and race, in event-heap order -- with a
+foreign event at the same instant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from .. import params
+from .injector import FaultInjector, replay_records
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..consensus.cluster import Cluster
+
+MS = 1e6
+
+#: Rejoin recovery bound, derived from the paper's Table IV: detection
+#: (heartbeat miss window + the 5 ms control-path reconnect backoff after
+#: a hard crash), direct-path log catch-up (sub-ms at chaos load), one
+#: 40 ms switch group rebuild, and head-room for one superseded rebuild
+#: restarted by the 2x40 ms CM timeout.  Three reconfiguration delays
+#: cover the sum with margin.
+REJOIN_RECOVERY_BOUND_NS = 3 * params.SWITCH_RECONFIG_NS
+
+
+def _skew(time_ns: float) -> float:
+    """Snap a strike time onto the fault-only fractional offset."""
+    return float(round(time_ns)) + 0.375
+
+
+class ChaosController:
+    """One injector per shard + arming/journal/replay for scenarios."""
+
+    def __init__(self, clusters: Iterable["Cluster"]):
+        self.clusters: List["Cluster"] = list(clusters)
+        if not self.clusters:
+            raise ValueError("ChaosController needs at least one cluster")
+        self.injectors = [FaultInjector(c) for c in self.clusters]
+
+    def injector(self, shard: int = 0) -> FaultInjector:
+        return self.injectors[shard]
+
+    def cluster(self, shard: int = 0) -> "Cluster":
+        return self.clusters[shard]
+
+    def arm(self, scenario: "Scenario", at_ns: float = 0.0) -> float:
+        """Schedule ``scenario`` starting at absolute time ``at_ns``;
+        returns the scenario's nominal end time."""
+        return scenario.schedule(self, at_ns)
+
+    # -- journal ---------------------------------------------------------------
+
+    def journal_dicts(self, actions_only: bool = False) -> List[dict]:
+        """Merged journal across shards, time-sorted, shard-tagged."""
+        merged = []
+        for shard, injector in enumerate(self.injectors):
+            for rec in injector.journal_dicts(actions_only=actions_only):
+                rec["shard"] = shard
+                merged.append(rec)
+        merged.sort(key=lambda r: (r["time_ns"], r["shard"]))
+        return merged
+
+    def journal_json(self, actions_only: bool = False) -> str:
+        import json
+        return json.dumps(self.journal_dicts(actions_only=actions_only),
+                          sort_keys=True)
+
+    def replay(self, records: List[dict]) -> int:
+        """Arm a merged journal (from :meth:`journal_dicts`) against this
+        controller's clusters; returns the number of actions armed."""
+        armed = 0
+        for shard in range(len(self.injectors)):
+            shard_records = [r for r in records if r.get("shard", 0) == shard]
+            armed += replay_records(self.injectors[shard], shard_records)
+        return armed
+
+
+class Scenario:
+    """Base: a named failure pattern with a start time and a duration."""
+
+    name = "scenario"
+
+    def params(self) -> Dict[str, Any]:
+        return {}
+
+    def describe(self) -> Dict[str, Any]:
+        return {"scenario": self.name, "params": self.params()}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        """Arm this scenario's strikes; return its nominal end time."""
+        raise NotImplementedError
+
+    def __rshift__(self, other: "Scenario") -> "Sequence":
+        return Sequence(self, other)
+
+    def __or__(self, other: "Scenario") -> "Overlay":
+        return Overlay(self, other)
+
+    # -- shared strike helpers -------------------------------------------------
+
+    @staticmethod
+    def _leader_id(cluster: "Cluster") -> Optional[int]:
+        leader = cluster.leader
+        return None if leader is None else leader.node_id
+
+    @staticmethod
+    def _follower_id(cluster: "Cluster") -> Optional[int]:
+        """Highest-id member that is not leading (the default victim)."""
+        leader = cluster.leader
+        lead_id = None if leader is None else leader.node_id
+        candidates = [m.node_id for m in cluster.members.values()
+                      if m.node_id != lead_id and not m._stopped]
+        return max(candidates) if candidates else None
+
+
+class Sequence(Scenario):
+    """Parts run back to back, ``gap_ms`` apart."""
+
+    name = "seq"
+
+    def __init__(self, *parts: Scenario, gap_ms: float = 2.0):
+        self.parts = list(parts)
+        self.gap_ns = gap_ms * MS
+
+    def params(self) -> Dict[str, Any]:
+        return {"gap_ms": self.gap_ns / MS,
+                "parts": [p.describe() for p in self.parts]}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        t = at_ns
+        for part in self.parts:
+            t = part.schedule(controller, t) + self.gap_ns
+        return t - self.gap_ns if self.parts else at_ns
+
+
+class Overlay(Scenario):
+    """Parts run concurrently from the same start instant."""
+
+    name = "overlay"
+
+    def __init__(self, *parts: Scenario):
+        self.parts = list(parts)
+
+    def params(self) -> Dict[str, Any]:
+        return {"parts": [p.describe() for p in self.parts]}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        return max([p.schedule(controller, at_ns) for p in self.parts]
+                   or [at_ns])
+
+
+class LeaderChurn(Scenario):
+    """Kill whoever leads, bring the ex-leader back, repeat.
+
+    Each round kills the *current* leader (resolved at strike time, so
+    round 2 may hit the freshly-revived lowest id that just re-took the
+    view) and restarts it ``down_ms`` later.
+    """
+
+    name = "leader_churn"
+
+    def __init__(self, shard: int = 0, rounds: int = 1,
+                 down_ms: float = 10.0, period_ms: float = 60.0):
+        self.shard = shard
+        self.rounds = rounds
+        self.down_ns = down_ms * MS
+        self.period_ns = period_ms * MS
+
+    def params(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "rounds": self.rounds,
+                "down_ms": self.down_ns / MS,
+                "period_ms": self.period_ns / MS}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        injector = controller.injector(self.shard)
+        sim = controller.cluster(self.shard).sim
+        for r in range(self.rounds):
+            sim.schedule_at(_skew(at_ns + r * self.period_ns),
+                            self._strike, injector)
+        return at_ns + self.rounds * self.period_ns
+
+    def _strike(self, injector: FaultInjector) -> None:
+        victim = self._leader_id(injector.cluster)
+        if victim is None:
+            injector._noop("leader_churn", self.shard)
+            return
+        injector.kill_app(victim)
+        injector.cluster.sim.schedule(self.down_ns,
+                                      injector.restart_app, victim)
+
+
+class ReplicaCrashRejoin(Scenario):
+    """A follower dies and rejoins through catch-up + group rebuild.
+
+    ``hard=False`` kills just the process (the paper's failure mode: the
+    NIC keeps answering one-sided reads); ``hard=True`` powers the whole
+    machine off, so revival also rebuilds every QP from a cold NIC.  The
+    nominal end includes :data:`REJOIN_RECOVERY_BOUND_NS`, the window in
+    which the leader must complete catch-up and the 40 ms rebuild.
+    """
+
+    name = "replica_rejoin"
+
+    def __init__(self, shard: int = 0, down_ms: float = 15.0,
+                 hard: bool = False, victim: Optional[int] = None):
+        self.shard = shard
+        self.down_ns = down_ms * MS
+        self.hard = hard
+        self.victim = victim
+
+    def params(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "down_ms": self.down_ns / MS,
+                "hard": self.hard, "victim": self.victim}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        injector = controller.injector(self.shard)
+        sim = controller.cluster(self.shard).sim
+        sim.schedule_at(_skew(at_ns), self._strike, injector)
+        return at_ns + self.down_ns + REJOIN_RECOVERY_BOUND_NS
+
+    def _strike(self, injector: FaultInjector) -> None:
+        victim = self.victim
+        if victim is None:
+            victim = self._follower_id(injector.cluster)
+        if victim is None:
+            injector._noop(self.name, self.shard)
+            return
+        if self.hard:
+            injector.crash_host(victim)
+            injector.cluster.sim.schedule(self.down_ns,
+                                          injector.revive_host, victim)
+        else:
+            injector.kill_app(victim)
+            injector.cluster.sim.schedule(self.down_ns,
+                                          injector.restart_app, victim)
+
+
+class LossyLink(Scenario):
+    """Random drop on one host's primary cable for a while."""
+
+    name = "lossy_link"
+
+    def __init__(self, shard: int = 0, node: int = 1, rate: float = 0.05,
+                 duration_ms: float = 30.0, backup: bool = False):
+        self.shard = shard
+        self.node = node
+        self.rate = rate
+        self.duration_ns = duration_ms * MS
+        self.backup = backup
+
+    def params(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "node": self.node, "rate": self.rate,
+                "duration_ms": self.duration_ns / MS, "backup": self.backup}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        injector = controller.injector(self.shard)
+        sim = controller.cluster(self.shard).sim
+        sim.schedule_at(_skew(at_ns), injector.set_loss,
+                        self.node, self.rate, self.backup)
+        sim.schedule_at(_skew(at_ns + self.duration_ns), injector.set_loss,
+                        self.node, 0.0, self.backup)
+        return at_ns + self.duration_ns
+
+
+class PartitionHeal(Scenario):
+    """Unplug a host's cables, re-plug them ``duration_ms`` later."""
+
+    name = "partition_heal"
+
+    def __init__(self, shard: int = 0, node: int = 1,
+                 duration_ms: float = 20.0, backup_too: bool = True):
+        self.shard = shard
+        self.node = node
+        self.duration_ns = duration_ms * MS
+        self.backup_too = backup_too
+
+    def params(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "node": self.node,
+                "duration_ms": self.duration_ns / MS,
+                "backup_too": self.backup_too}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        injector = controller.injector(self.shard)
+        sim = controller.cluster(self.shard).sim
+        sim.schedule_at(_skew(at_ns), injector.partition_host,
+                        self.node, self.backup_too)
+        sim.schedule_at(_skew(at_ns + self.duration_ns),
+                        injector.heal_host, self.node)
+        return at_ns + self.duration_ns
+
+
+class CreditStarve(Scenario):
+    """Starve the switch's credit window by throttling a replica NIC.
+
+    Raising the per-packet RX gap backs packets up in the card, the
+    advertised credits collapse, and the switch's MinCredit aggregation
+    throttles the whole group -- the credit-exhaustion failure mode.
+    """
+
+    name = "credit_starve"
+
+    def __init__(self, shard: int = 0, node: int = 1,
+                 gap_factor: float = 512.0, duration_ms: float = 20.0):
+        self.shard = shard
+        self.node = node
+        self.gap_factor = gap_factor
+        self.duration_ns = duration_ms * MS
+
+    def params(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "node": self.node,
+                "gap_factor": self.gap_factor,
+                "duration_ms": self.duration_ns / MS}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        injector = controller.injector(self.shard)
+        sim = controller.cluster(self.shard).sim
+        slow = self.gap_factor * params.NIC_PACKET_GAP_NS
+        sim.schedule_at(_skew(at_ns), injector.set_nic_rx_gap,
+                        self.node, slow)
+        sim.schedule_at(_skew(at_ns + self.duration_ns),
+                        injector.set_nic_rx_gap, self.node,
+                        float(params.NIC_PACKET_GAP_NS))
+        return at_ns + self.duration_ns
+
+
+class ControlPlaneRestart(Scenario):
+    """Restart the switch-CPU control-plane application.
+
+    Compose it after a rejoin's strike (``Overlay`` with
+    ``at_offset_ms`` inside the rebuild window) to hit provisioning
+    mid-flight: the leader's setup CM times out after 2 x 40 ms and the
+    retry timer re-provisions.
+    """
+
+    name = "cp_restart"
+
+    def __init__(self, shard: int = 0, at_offset_ms: float = 0.0):
+        self.shard = shard
+        self.offset_ns = at_offset_ms * MS
+
+    def params(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "at_offset_ms": self.offset_ns / MS}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        injector = controller.injector(self.shard)
+        sim = controller.cluster(self.shard).sim
+        sim.schedule_at(_skew(at_ns + self.offset_ns),
+                        injector.restart_control_plane)
+        return at_ns + self.offset_ns
+
+
+class CorrelatedCrash(Scenario):
+    """The same strike on every shard at the same instant.
+
+    Models a rack-level event against co-resident groups (``mode=
+    "tenant"``: all G groups share one switch): each shard loses a
+    follower simultaneously, and all G rebuilds contend for the shared
+    control plane and its budget pools.
+    """
+
+    name = "correlated_crash"
+
+    def __init__(self, down_ms: float = 15.0, hard: bool = False):
+        self.down_ns = down_ms * MS
+        self.hard = hard
+
+    def params(self) -> Dict[str, Any]:
+        return {"down_ms": self.down_ns / MS, "hard": self.hard}
+
+    def schedule(self, controller: ChaosController, at_ns: float) -> float:
+        for shard in range(len(controller.injectors)):
+            sim = controller.cluster(shard).sim
+            sim.schedule_at(_skew(at_ns), self._strike,
+                            controller.injector(shard))
+        return at_ns + self.down_ns + REJOIN_RECOVERY_BOUND_NS
+
+    def _strike(self, injector: FaultInjector) -> None:
+        victim = self._follower_id(injector.cluster)
+        if victim is None:
+            injector._noop(self.name, "all-shards")
+            return
+        if self.hard:
+            injector.crash_host(victim)
+            injector.cluster.sim.schedule(self.down_ns,
+                                          injector.revive_host, victim)
+        else:
+            injector.kill_app(victim)
+            injector.cluster.sim.schedule(self.down_ns,
+                                          injector.restart_app, victim)

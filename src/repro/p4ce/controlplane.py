@@ -132,6 +132,8 @@ class P4ceControlPlane:
         #: question a degraded-to-direct-plane tenant asks.
         self.provision_rejects = 0
         self.reject_pools: Dict[str, int] = {}
+        #: Control-plane application restarts injected by chaos scenarios.
+        self.cp_restarts = 0
         #: Shared Tofino provisioning budget (set by ``load_program``);
         #: None for programs that do not declare one.
         self.resources = switch.resources
@@ -402,6 +404,51 @@ class P4ceControlPlane:
             self.tracer.record("p4ce-cp", "group-active",
                                group=group.group_index, leader=str(leader.ip),
                                replicas=len(group.replica_conns))
+
+    def restart(self) -> None:
+        """Restart the control-plane application (chaos scenario).
+
+        Models the switch CPU process dying and coming back: dataplane
+        state survives (ACTIVE groups keep forwarding -- their table
+        entries live in the ASIC, and the new process re-syncs them from
+        hardware), but every *in-flight* provisioning handshake is lost.
+        No CM message is sent for those -- the restarted process never
+        saw the requests -- so affected leaders recover through their CM
+        timeout (2 x SWITCH_RECONFIG_NS), fall back to the direct plane,
+        and re-provision via the retry timer.
+
+        Budget hygiene is the subtle part: a pending group holds endpoint
+        ids for replicas that are not yet in ``replica_conns`` (they only
+        move there at programming time), so :meth:`_teardown_group` alone
+        would leak them.  Release them explicitly, then tear down, then
+        restore the superseded group's leader mapping exactly as
+        :meth:`_abort_group` does.
+        """
+        self.cp_restarts += 1
+        budget = self.resources
+        for group_index in list(self._pending):
+            pending = self._pending.pop(group_index, None)
+            if pending is None:
+                continue
+            for replica in pending.replicas.values():
+                self._free_endpoint_ids.append(replica.endpoint_id)
+                if budget is not None:
+                    budget.release("endpoint_ids")
+            for cm_id in pending.replicas:
+                self._pending_by_replica_cm.pop(cm_id, None)
+            self._teardown_group(group_index)
+            if (pending.replaces is not None
+                    and pending.replaces in self.groups):
+                old = self.groups[pending.replaces]
+                self._group_by_leader[old.leader_ip.value] = pending.replaces
+        self._pending_by_replica_cm.clear()
+        # The dedup cache is volatile: a leader retransmitting an
+        # already-served REQ after our restart gets no short-circuit
+        # reply and must re-provision from scratch.
+        self._served_leader_cm.clear()
+        if self.tracer is not None:
+            self.tracer.record("p4ce-cp", "cp-restart",
+                               restarts=self.cp_restarts)
 
     def _abort_group(self, pending: _PendingGroup, reason: int) -> None:
         group = pending.group

@@ -52,13 +52,20 @@ class CompletionQueue:
         return len(self._entries)
 
     def push(self, wc: WorkCompletion) -> None:
+        if self.on_completion is not None:
+            # Event-channel mode: the armed handler is the consumer and
+            # polls the CQE as part of handling it, so nothing stays
+            # queued.  (Retaining it too would overrun the CQ after
+            # ``capacity`` deliveries and silently mute the channel --
+            # e.g. a leader stuck on the direct plane long enough posts
+            # two signaled writes per entry and goes deaf mid-run.)
+            self.on_completion(wc)
+            return
         if len(self._entries) >= self.capacity:
             # A real CQ overrun is a fatal async event; remember it.
             self.overflowed = True
             return
         self._entries.append(wc)
-        if self.on_completion is not None:
-            self.on_completion(wc)
 
     def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
         """Drain up to ``max_entries`` completions (ibv_poll_cq)."""

@@ -201,5 +201,16 @@ class Host:
         for nic in self.nics:
             nic.power_off()
 
+    def revive(self) -> None:
+        """Power the machine back on with cold NICs (all QP state lost).
+
+        Memory regions survive -- the simulation models a reboot that
+        re-registers the same buffers at the same virtual addresses, so
+        peers' cached (va, rkey) pairs stay valid once new QPs connect.
+        """
+        self.alive = True
+        for nic in self.nics:
+            nic.power_on()
+
     def __repr__(self) -> str:
         return f"Host({self.name}, id={self.node_id}, ip={self.ip})"

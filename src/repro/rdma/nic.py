@@ -799,6 +799,30 @@ class RNic:
         for timer in self._retx_timers.values():
             timer.stop()
 
+    def power_on(self) -> None:
+        """Bring the NIC back after a host crash.
+
+        A power cycle loses all volatile card state: every QP (peers'
+        stale QPNs then miss and their go-back-N timers error those QPs,
+        which is exactly how the remote side learns the card rebooted),
+        the retransmission timers, and the pipeline occupancy horizons.
+        ``_rx_inflight`` is deliberately left alone: packets that were
+        mid-pipeline at power-off still run their ``_rx_process`` events,
+        which decrement it unconditionally.
+        """
+        if self.powered:
+            return
+        self.powered = True
+        for timer in self._retx_timers.values():
+            timer.stop()
+        self._retx_timers.clear()
+        self.qps.clear()
+        self._tx_busy_until = 0.0
+        self._rx_busy_until = 0.0
+        watch = self._flight_watch
+        if watch is not None:
+            watch.on_heal(self)
+
     def _trace(self, event: str, packet: Packet) -> None:
         details = {"src": str(packet.ipv4.src), "dst": str(packet.ipv4.dst),
                    "bytes": packet.wire_size}

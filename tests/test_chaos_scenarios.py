@@ -1,0 +1,170 @@
+"""Scenario algebra, the rejoin path, CP restart, and seed-replay."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.faults import (
+    REJOIN_RECOVERY_BOUND_NS,
+    ChaosController,
+    ControlPlaneRestart,
+    CreditStarve,
+    LeaderChurn,
+    LossyLink,
+    ReplicaCrashRejoin,
+)
+from repro.workloads.chaos import ChaosLoadDriver, chaos_cell_specs
+from repro.workloads.experiments import install_trace_digest
+
+MS = 1_000_000
+
+
+def small(seed=29, **kw):
+    cluster = Cluster.build(ClusterConfig(num_replicas=2, protocol="p4ce",
+                                          seed=seed, **kw))
+    cluster.await_ready()
+    return cluster
+
+
+class TestAlgebra:
+    def test_sequence_chains_parts_with_gap(self):
+        cluster = small()
+        controller = ChaosController([cluster])
+        scenario = (LossyLink(node=1, rate=0.02, duration_ms=4.0)
+                    >> CreditStarve(node=1, duration_ms=4.0))
+        t0 = cluster.sim.now + 1 * MS
+        end = controller.arm(scenario, at_ns=t0)
+        assert end == pytest.approx(t0 + (4 + 2 + 4) * MS)
+        desc = scenario.describe()
+        assert desc["scenario"] == "seq"
+        assert [p["scenario"] for p in desc["params"]["parts"]] == [
+            "lossy_link", "credit_starve"]
+
+    def test_overlay_ends_at_longest_part(self):
+        cluster = small()
+        controller = ChaosController([cluster])
+        scenario = (LossyLink(node=1, rate=0.02, duration_ms=9.0)
+                    | CreditStarve(node=1, duration_ms=3.0))
+        t0 = cluster.sim.now + 1 * MS
+        assert controller.arm(scenario, at_ns=t0) == pytest.approx(
+            t0 + 9 * MS)
+        assert scenario.describe()["scenario"] == "overlay"
+
+    def test_scheduled_strikes_apply_and_revert(self):
+        cluster = small()
+        controller = ChaosController([cluster])
+        link = cluster.hosts[1].nic.port.link
+        scenario = LossyLink(node=1, rate=0.10, duration_ms=5.0)
+        controller.arm(scenario, at_ns=cluster.sim.now + 1 * MS)
+        cluster.run_for(3 * MS)
+        assert link.drop_probability == 0.10
+        cluster.run_for(5 * MS)
+        assert link.drop_probability == 0.0
+        kinds = [r["kind"] for r in controller.journal_dicts()]
+        assert kinds == ["set_loss", "set_loss"]
+
+    def test_cell_matrix_has_at_least_twelve_cells(self):
+        quick = chaos_cell_specs(quick=True)
+        full = chaos_cell_specs(quick=False)
+        assert len(quick) >= 12
+        assert len(full) > len(quick)
+        assert len({s["cell"] for s in full}) == len(full)
+        for spec in full:
+            assert spec["chaos_ns"] > 0 and spec["num_groups"] in (1, 2)
+
+
+class TestReplicaRejoin:
+    @pytest.mark.parametrize("hard", [False, True])
+    def test_follower_rejoins_within_the_bound(self, hard):
+        cluster = small(seed=31)
+        reconfigs = []
+        cluster.on_group_reconfigured = (
+            lambda member: reconfigs.append(cluster.sim.now))
+        driver = ChaosLoadDriver(cluster, value_size=32, window=4)
+        driver.start()
+        cluster.run_for(1 * MS)
+        controller = ChaosController([cluster])
+        scenario = ReplicaCrashRejoin(down_ms=10.0, hard=hard)
+        controller.arm(scenario, at_ns=cluster.sim.now + 1 * MS)
+        cluster.run_for(12 * MS + REJOIN_RECOVERY_BOUND_NS + 10 * MS)
+        driver.stop()
+        cluster.run_for(4 * MS)
+        journal = controller.injector(0).journal
+        kinds = [r.kind for r in journal]
+        if hard:
+            assert kinds == ["crash_host", "revive_host"]
+        else:
+            assert kinds == ["kill_app", "restart_app"]
+        revive_t = [r.time_ns for r in journal
+                    if r.kind in ("restart_app", "revive_host")][0]
+        after = [t for t in reconfigs if t >= revive_t]
+        assert after, "the rejoin never completed a group rebuild"
+        assert after[0] - revive_t <= REJOIN_RECOVERY_BOUND_NS
+        # The victim's log caught up to the leader's commit point.
+        victim = max(m.node_id for m in cluster.members.values()
+                     if not m.is_leader)
+        leader = cluster.leader
+        assert leader is not None and leader.comm_mode == "switch"
+        assert (cluster.members[victim].log.next_offset
+                >= leader.commit_offset)
+        assert driver.commits > 0
+
+
+class TestControlPlaneRestart:
+    def test_restart_mid_provisioning_releases_budget_and_recovers(self):
+        cluster = small(seed=37)
+        cp = cluster.control_plane
+        baseline = dict(cp.resources._used)
+        driver = ChaosLoadDriver(cluster, value_size=32, window=4)
+        driver.start()
+        cluster.run_for(1 * MS)
+        controller = ChaosController([cluster])
+        # The CP dies 16 ms after the strike: ~3.5 ms into the rebuild
+        # the rejoin triggers, with provisioning CM handshakes in flight.
+        scenario = (ReplicaCrashRejoin(down_ms=12.0)
+                    | ControlPlaneRestart(at_offset_ms=16.0))
+        controller.arm(scenario, at_ns=cluster.sim.now + 1 * MS)
+        cluster.run_for(240 * MS)
+        driver.stop()
+        cluster.run_for(4 * MS)
+        assert cp.cp_restarts == 1
+        assert not cp._pending
+        # Every endpoint id and budget unit of the discarded handshake
+        # came back; the retry re-provisioned from a clean pool.
+        assert dict(cp.resources._used) == baseline
+        leader = cluster.leader
+        assert leader is not None and leader.comm_mode == "switch"
+        assert driver.commits > 0
+
+
+class TestSeedReplay:
+    def _run(self, replay=None):
+        cluster = small(seed=47)
+        digest = install_trace_digest(cluster)
+        driver = ChaosLoadDriver(cluster, value_size=32, window=4)
+        driver.start()
+        cluster.run_for(1 * MS)
+        controller = ChaosController([cluster])
+        if replay is not None:
+            armed = controller.replay(replay)
+            assert armed == len(replay)
+        else:
+            controller.arm(LeaderChurn(rounds=1, down_ms=6.0),
+                           at_ns=cluster.sim.now + 500_000)
+        cluster.run_for(45 * MS)
+        driver.stop()
+        cluster.run_for(2 * MS)
+        return (digest.hexdigest(), driver.commits,
+                controller.journal_dicts(),
+                controller.journal_json(actions_only=True))
+
+    def test_replay_from_journal_reproduces_the_run_bit_for_bit(self):
+        digest, commits, journal, actions = self._run()
+        # Leader churn resolves its victim dynamically at strike time --
+        # the journal must hold the *resolved* kill, not the decision.
+        assert [r["kind"] for r in journal if r["action"]] == [
+            "kill_app", "restart_app"]
+        replayed = [r for r in journal if r["action"]]
+        digest2, commits2, _, actions2 = self._run(replay=replayed)
+        assert digest2 == digest
+        assert commits2 == commits
+        assert actions2 == actions

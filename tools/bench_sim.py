@@ -60,6 +60,9 @@ sys.path.insert(0, str(_REPO / "src"))
 from repro import fastlane, params  # noqa: E402
 from repro.faults.injector import FaultSchedule  # noqa: E402
 from repro.workloads import generators  # noqa: E402
+from repro.faults.scenarios import REJOIN_RECOVERY_BOUND_NS  # noqa: E402
+from repro.workloads.chaos import (  # noqa: E402
+    chaos_cell_specs, run_chaos_cell)
 from repro.workloads.experiments import (  # noqa: E402
     ClosedLoopDriver, build_cluster, group_scaling_specs,
     install_trace_digest, reconcile_epoch_counters, run_group_scaling_serial,
@@ -588,16 +591,92 @@ def run_group_scaling(groups, *, warmup_ns: float, window_ns: float,
     return out
 
 
+def run_chaos_matrix(quick: bool) -> dict:
+    """The composable-chaos sweep: scenario x G cells, each proving
+    fast/slow digest parity under mid-flight strikes, plus seed-replay
+    fidelity, rejoin-recovery bounds and liveness (see
+    :mod:`repro.workloads.chaos`).
+
+    Cells are independent (own cluster, own seed), so they run through
+    the same spawn pool the group-scaling sweep uses.
+    """
+    os.environ.setdefault("PYTHONHASHSEED", "0")
+    ctx = multiprocessing.get_context("spawn")
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    specs = chaos_cell_specs(quick=quick)
+    workers = max(1, min(cores, len(specs)))
+    print(f"[chaos_matrix] {len(specs)} cells "
+          f"({workers} worker(s), spawn)...")
+    t0 = time.perf_counter()
+    with ctx.Pool(processes=workers) as pool:
+        cells = pool.map(run_chaos_cell, specs)
+    out = {
+        "cells": {cell["cell"]: cell for cell in cells},
+        "num_cells": len(cells),
+        "rejoin_recovery_bound_ms": REJOIN_RECOVERY_BOUND_NS / MS,
+        "wall_clock_s": time.perf_counter() - t0,
+        "deterministic": True,
+        "determinism_failures": [],
+    }
+    failures = out["determinism_failures"]
+    for cell in cells:
+        name = cell["cell"]
+        fast0 = cell["fast"]["shards"][0]
+        recovery = ""
+        if cell["recovery_bound_ms"] is not None:
+            observed = [s["recovery_ms"] for s in cell["fast"]["shards"]
+                        if s["recovery_ms"] is not None]
+            shown = max(observed) if observed else None
+            recovery = (f"  recovery={shown:.1f}ms"
+                        f"/{cell['recovery_bound_ms']:.0f}ms"
+                        if shown is not None else "  recovery=NONE")
+        replay = ("" if cell["replay_match"] is None
+                  else f"  replay {'OK' if cell['replay_match'] else 'FAIL'}")
+        print(f"  {name:24s} digest "
+              f"{'OK' if cell['digest_match'] else 'MISMATCH'}  "
+              f"commits={fast0['window_commits']}  "
+              f"max_gap={fast0['max_commit_gap_ms']:.1f}ms"
+              f"{recovery}{replay}  "
+              f"speedup={cell['speedup_vs_slow_lane']:.2f}x")
+        if not cell["digest_match"]:
+            failures.append(
+                f"chaos_matrix {name}: fast and slow trace digests differ "
+                f"({cell['fast']['trace_digest'][:16]} vs "
+                f"{cell['slow']['trace_digest'][:16]})")
+        if not cell["journal_match"]:
+            failures.append(
+                f"chaos_matrix {name}: fast and slow fault journals differ")
+        if cell["replay_match"] is False:
+            failures.append(
+                f"chaos_matrix {name}: journal replay from seed did not "
+                f"reproduce the fast-lane digest")
+        if not cell["recovery_ok"]:
+            failures.append(
+                f"chaos_matrix {name}: rejoin recovery exceeded the "
+                f"{cell['recovery_bound_ms']:.0f} ms bound "
+                f"(or no rebuild observed)")
+        if not cell["progress_ok"]:
+            failures.append(
+                f"chaos_matrix {name}: a shard made no window commits or "
+                f"did not catch up after settling")
+    out["deterministic"] = not failures
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="short windows and one repeat (CI smoke)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per lane (default: 3, quick: 1)")
-    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_7.json",
+    parser.add_argument("--output", type=Path, default=_REPO / "BENCH_8.json",
                         help="where to write the JSON report")
     parser.add_argument("--workload",
-                        choices=sorted(WORKLOADS) + ["group_scaling",
+                        choices=sorted(WORKLOADS) + ["chaos_matrix",
+                                                     "group_scaling",
                                                      "serving"],
                         default=None,
                         help="run a single workload instead of all")
@@ -618,7 +697,7 @@ def main(argv=None) -> int:
     warmup_ns = 0.3 * MS if args.quick else 1 * MS
     window_ns = 1 * MS if args.quick else 4 * MS
     repeats = args.repeats or (1 if args.quick else 3)
-    if args.workload in ("group_scaling", "serving"):
+    if args.workload in ("chaos_matrix", "group_scaling", "serving"):
         names = []
     elif args.workload:
         names = [args.workload]
@@ -626,6 +705,7 @@ def main(argv=None) -> int:
         names = sorted(WORKLOADS)
     run_groups = args.workload in (None, "group_scaling")
     run_fleet = args.workload in (None, "serving")
+    run_chaos = args.workload in (None, "chaos_matrix")
     if args.groups:
         groups = tuple(int(g) for g in args.groups.split(","))
     else:
@@ -745,6 +825,17 @@ def main(argv=None) -> int:
                 print(f"  serving gates: retained {retained:.2f}x of "
                       f"uniform (>=0.70), {gain:.2f}x over static skew "
                       f"(>=1.5)")
+
+    if run_chaos:
+        chaos = run_chaos_matrix(quick=args.quick)
+        report["chaos_matrix"] = chaos
+        if not chaos["deterministic"]:
+            ok = False
+            for failure in chaos["determinism_failures"]:
+                print(f"  DETERMINISM FAILURE: {failure}")
+        else:
+            print(f"  chaos_matrix: {chaos['num_cells']} cells OK "
+                  f"(digest parity, journals, replay, recovery bounds)")
 
     if args.profile:
         # Profiled windows carry instrumentation overhead; never let them

@@ -179,7 +179,7 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path, default=_REPO / "BENCH_2.json",
                         help="where to write the JSON report")
     parser.add_argument("--baseline", type=Path,
-                        default=_REPO / "BENCH_7.json",
+                        default=_REPO / "BENCH_8.json",
                         help="bench_sim-style report to compare against")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero on determinism failure or on "
